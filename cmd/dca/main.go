@@ -1,0 +1,187 @@
+// Command dca trains a compensatory bonus-point vector on a CSV dataset
+// and reports the disparity before and after.
+//
+// The input follows the csvio convention: score attributes prefixed
+// "score:", fairness attributes "fair:", optional "outcome" column. The
+// ranking function is a weighted sum over the score columns (-weights,
+// comma separated, default: equal weights).
+//
+// Usage:
+//
+//	dca -in school.csv -k 0.05 [-weights 0.55,0.45] [-objective disparity]
+//	    [-adverse] [-granularity 0.5] [-max-bonus 0] [-sample 500] [-seed 1]
+//	dca -in compas.csv -k 0.2 -adverse -objective fpr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"fairrank"
+	"fairrank/internal/metrics"
+	"fairrank/internal/report"
+)
+
+func main() {
+	var (
+		in          = flag.String("in", "", "training CSV (required)")
+		testIn      = flag.String("test", "", "optional held-out CSV evaluated with the trained vector")
+		k           = flag.Float64("k", 0.05, "selection fraction in (0,1]")
+		weightsFlag = flag.String("weights", "", "comma-separated score weights (default: equal)")
+		objective   = flag.String("objective", "disparity", "objective: disparity, logdisc, di, fpr")
+		adverse     = flag.Bool("adverse", false, "adverse selection (bonus lowers the score, e.g. risk flagging)")
+		granularity = flag.Float64("granularity", 0.5, "bonus point granularity (0 disables rounding)")
+		maxBonus    = flag.Float64("max-bonus", 0, "maximum bonus per dimension (0 = unlimited)")
+		sampleSize  = flag.Int("sample", 500, "DCA sample size")
+		seed        = flag.Int64("seed", 1, "sampling seed")
+		explain     = flag.Bool("explain", false, "print the transparency report (cutoff, per-group counts, beneficiaries)")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := fairrank.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	weights := make([]float64, d.NumScore())
+	if *weightsFlag == "" {
+		for j := range weights {
+			weights[j] = 1 / float64(len(weights))
+		}
+	} else {
+		parts := strings.Split(*weightsFlag, ",")
+		if len(parts) != d.NumScore() {
+			fatal(fmt.Errorf("%d weights for %d score columns", len(parts), d.NumScore()))
+		}
+		for j, p := range parts {
+			w, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				fatal(err)
+			}
+			weights[j] = w
+		}
+	}
+	scorer := fairrank.WeightedSum{Weights: weights}
+
+	var obj fairrank.Objective
+	switch *objective {
+	case "disparity":
+		obj = fairrank.DisparityObjective(*k)
+	case "logdisc":
+		step := 0.1
+		if *k < step {
+			step = *k // ensure at least one evaluation point
+		}
+		obj = fairrank.LogDiscountedDisparity(step, *k)
+	case "di":
+		obj = fairrank.DisparateImpactObjective(*k)
+	case "fpr":
+		obj = fairrank.FPRObjective(*k)
+	default:
+		fatal(fmt.Errorf("unknown objective %q", *objective))
+	}
+
+	opts := fairrank.DefaultOptions()
+	opts.SampleSize = *sampleSize
+	opts.Seed = *seed
+	opts.Granularity = *granularity
+	opts.MaxBonus = *maxBonus
+	if *adverse {
+		opts.Polarity = fairrank.Adverse
+	}
+
+	res, err := fairrank.Train(d, scorer, obj, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	pol := fairrank.Beneficial
+	if *adverse {
+		pol = fairrank.Adverse
+	}
+	ev := fairrank.NewEvaluator(d, scorer, pol)
+	before, err := ev.Disparity(nil, *k)
+	if err != nil {
+		fatal(err)
+	}
+	after, err := ev.Disparity(res.Bonus, *k)
+	if err != nil {
+		fatal(err)
+	}
+	ndcg, err := ev.NDCG(res.Bonus, *k)
+	if err != nil {
+		fatal(err)
+	}
+
+	headers := append([]string{""}, d.FairNames()...)
+	headers = append(headers, "Norm")
+	t := &report.Table{Title: fmt.Sprintf("DCA on %s (k=%g, objective=%s, %d objects, %s)", *in, *k, *objective, d.N(), res.Elapsed), Headers: headers}
+	cells := []string{"Bonus Points"}
+	for _, b := range res.Bonus {
+		cells = append(cells, report.Float(b))
+	}
+	cells = append(cells, "-")
+	t.Rows = append(t.Rows, cells)
+	t.AddFloatRow("Disparity before", append(append([]float64(nil), before...), metrics.Norm(before))...)
+	t.AddFloatRow("Disparity after", append(append([]float64(nil), after...), metrics.Norm(after))...)
+	if err := t.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nnDCG@%g = %s (1 = ranking unchanged)\n", *k, report.Float(ndcg))
+
+	if *explain {
+		exp, err := ev.Explain(res.Bonus, *k)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("\nTransparency report")
+		fmt.Println("-------------------")
+		for _, line := range exp.Summary() {
+			fmt.Println(line)
+		}
+	}
+
+	if *testIn != "" {
+		tf, err := os.Open(*testIn)
+		if err != nil {
+			fatal(err)
+		}
+		testD, err := fairrank.ReadCSV(tf)
+		tf.Close()
+		if err != nil {
+			fatal(err)
+		}
+		testEv := fairrank.NewEvaluator(testD, scorer, pol)
+		tb, err := testEv.Disparity(nil, *k)
+		if err != nil {
+			fatal(err)
+		}
+		ta, err := testEv.Disparity(res.Bonus, *k)
+		if err != nil {
+			fatal(err)
+		}
+		tt := &report.Table{Title: fmt.Sprintf("\nHeld-out evaluation on %s (%d objects)", *testIn, testD.N()), Headers: headers}
+		tt.AddFloatRow("Disparity before", append(append([]float64(nil), tb...), metrics.Norm(tb))...)
+		tt.AddFloatRow("Disparity after", append(append([]float64(nil), ta...), metrics.Norm(ta))...)
+		if err := tt.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dca:", err)
+	os.Exit(1)
+}

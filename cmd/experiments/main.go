@@ -1,0 +1,82 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation. With no arguments it runs the full suite; -run selects a
+// single experiment by id (see -list).
+//
+// Usage:
+//
+//	experiments [-quick] [-run id] [-list] [-school-n n] [-seed s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fairrank/internal/experiments"
+	"fairrank/internal/report"
+)
+
+func main() {
+	var (
+		quick   = flag.Bool("quick", false, "smaller cohorts and sweeps (smoke-test mode)")
+		run     = flag.String("run", "", "run a single experiment by id")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		schoolN = flag.Int("school-n", 0, "override the school cohort size")
+		seed    = flag.Int64("seed", 0, "override the DCA sampling seed")
+		tsv     = flag.Bool("tsv", false, "emit machine-readable tab-separated output")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	if *schoolN > 0 {
+		cfg.SchoolN = *schoolN
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	env := experiments.NewEnv(cfg)
+
+	entries := experiments.All()
+	if *run != "" {
+		e, err := experiments.Lookup(*run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		entries = []experiments.Entry{e}
+	}
+
+	for i, e := range entries {
+		if i > 0 {
+			fmt.Println()
+		}
+		start := time.Now()
+		r, err := e.Run(env)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s — %s (%.2fs)\n\n", e.ID, e.Title, time.Since(start).Seconds())
+		render := r.Render
+		if *tsv {
+			if tr, ok := r.(report.TSVRenderer); ok {
+				render = tr.RenderTSV
+			}
+		}
+		if err := render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "rendering %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+	}
+}

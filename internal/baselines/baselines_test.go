@@ -1,0 +1,364 @@
+package baselines
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"fairrank/internal/dataset"
+	"fairrank/internal/metrics"
+)
+
+func quotaDataset(t testing.TB, n int, seed int64) (*dataset.Dataset, []float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	fair := make([]float64, n)
+	score := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.3 {
+			fair[i] = 1
+		}
+		score[i] = 50 + 10*rng.NormFloat64() - 8*fair[i]
+	}
+	d, err := dataset.New([]string{"s"}, []string{"f"}, [][]float64{score}, [][]float64{fair}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, score
+}
+
+func TestQuotaSelectsExactCount(t *testing.T) {
+	d, score := quotaDataset(t, 1000, 1)
+	q := Quota{Reserve: 0.3, MemberCols: []int{0}}
+	sel, err := q.Select(d, score, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 100 {
+		t.Fatalf("selected %d, want 100", len(sel))
+	}
+	seen := make(map[int]bool)
+	for _, i := range sel {
+		if seen[i] {
+			t.Fatalf("duplicate selection %d", i)
+		}
+		seen[i] = true
+	}
+}
+
+func TestQuotaReserveBinds(t *testing.T) {
+	d, score := quotaDataset(t, 2000, 2)
+	// Without quota, members are underrepresented.
+	plain, err := (Quota{Reserve: 0, MemberCols: []int{0}}).Select(d, score, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withQuota, err := (Quota{Reserve: 0.3, MemberCols: []int{0}}).Select(d, score, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(sel []int) int {
+		c := 0
+		for _, i := range sel {
+			if d.Fair(i, 0) > 0.5 {
+				c++
+			}
+		}
+		return c
+	}
+	if count(withQuota) < 30 {
+		t.Errorf("reserve of 30 seats not honored: %d members", count(withQuota))
+	}
+	if count(withQuota) <= count(plain) {
+		t.Errorf("quota did not increase representation: %d vs %d", count(withQuota), count(plain))
+	}
+	// Disparity improves.
+	if metrics.Norm(metrics.Disparity(d, withQuota)) >= metrics.Norm(metrics.Disparity(d, plain)) {
+		t.Error("quota did not reduce disparity norm")
+	}
+}
+
+func TestQuotaUnfilledReserveReverts(t *testing.T) {
+	// Only 2 disadvantaged objects but a 50% reserve on 10 seats: the 3
+	// unfilled reserved seats go to open competition.
+	fair := make([]float64, 100)
+	fair[0], fair[1] = 1, 1
+	score := make([]float64, 100)
+	for i := range score {
+		score[i] = float64(100 - i)
+	}
+	d, err := dataset.New([]string{"s"}, []string{"f"}, [][]float64{score}, [][]float64{fair}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := (Quota{Reserve: 0.5, MemberCols: []int{0}}).Select(d, score, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 10 {
+		t.Fatalf("selected %d, want 10", len(sel))
+	}
+}
+
+func TestQuotaInvalidReserve(t *testing.T) {
+	d, score := quotaDataset(t, 10, 3)
+	if _, err := (Quota{Reserve: -0.1}).Select(d, score, 0.5); err == nil {
+		t.Error("negative reserve: expected error")
+	}
+	if _, err := (Quota{Reserve: 1.1}).Select(d, score, 0.5); err == nil {
+		t.Error("reserve > 1: expected error")
+	}
+	if _, err := (Quota{Reserve: 0.5}).Select(d, score, 0); err == nil {
+		t.Error("zero selection fraction: expected error")
+	}
+}
+
+func TestMTableMonotoneAndVerified(t *testing.T) {
+	fa := FAStarIR{Proportions: []float64{0.55, 0.25, 0.15, 0.05}, Alpha: 0.1}
+	const tau = 60
+	mt, err := fa.MTable(tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 1; n <= tau; n++ {
+		for g := 1; g < 4; g++ {
+			if mt[n][g] < mt[n-1][g] {
+				t.Fatalf("mtable not monotone at n=%d g=%d", n, g)
+			}
+			if mt[n][g] > n {
+				t.Fatalf("mtable requires more than the prefix at n=%d g=%d", n, g)
+			}
+		}
+		if mt[n][0] != 0 {
+			t.Fatalf("non-protected group has a requirement at n=%d", n)
+		}
+	}
+	// Requirements approach the proportional share for large prefixes.
+	if mt[tau][1] == 0 {
+		t.Error("25% group has no requirement at prefix 60")
+	}
+}
+
+func TestFAStarReRankSatisfiesMTableAndVerify(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	fa := FAStarIR{Proportions: []float64{0.6, 0.25, 0.15}, Alpha: 0.1}
+	// Candidates sorted by score; protected groups concentrated at the
+	// bottom (a biased ranking).
+	n := 400
+	groups := make([]int, n)
+	for i := range groups {
+		switch {
+		case rng.Float64() < 0.25*float64(i)/float64(n)*2:
+			groups[i] = 1
+		case rng.Float64() < 0.15*float64(i)/float64(n)*2:
+			groups[i] = 2
+		}
+	}
+	const tau = 80
+	positions, err := fa.ReRank(groups, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(positions) != tau {
+		t.Fatalf("re-ranked %d, want %d", len(positions), tau)
+	}
+	// No duplicates; each position valid.
+	seen := make(map[int]bool)
+	outGroups := make([]int, tau)
+	for r, p := range positions {
+		if p < 0 || p >= n || seen[p] {
+			t.Fatalf("bad position %d at rank %d", p, r)
+		}
+		seen[p] = true
+		outGroups[r] = groups[p]
+	}
+	// mtable satisfied at every prefix.
+	mt, err := fa.MTable(tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 3)
+	for r := 0; r < tau; r++ {
+		counts[outGroups[r]]++
+		for g := 1; g < 3; g++ {
+			if counts[g] < mt[r+1][g] {
+				t.Fatalf("prefix %d has %d of group %d, mtable requires %d", r+1, counts[g], g, mt[r+1][g])
+			}
+		}
+	}
+	// And the exact multinomial test passes.
+	failAt, err := fa.Verify(outGroups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failAt != 0 {
+		t.Errorf("verification fails at prefix %d", failAt)
+	}
+}
+
+func TestFAStarVerifyRejectsExclusion(t *testing.T) {
+	fa := FAStarIR{Proportions: []float64{0.5, 0.5}, Alpha: 0.1}
+	// 30 positions, zero protected: mcdf = 0.5^n drops below 0.1 fast.
+	groups := make([]int, 30)
+	failAt, err := fa.Verify(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failAt == 0 || failAt > 10 {
+		t.Errorf("all-unprotected prefix should fail early, failed at %d", failAt)
+	}
+}
+
+func TestFAStarErrors(t *testing.T) {
+	if _, err := (FAStarIR{Proportions: []float64{1}, Alpha: 0.1}).MTable(5); err == nil {
+		t.Error("single group: expected error")
+	}
+	if _, err := (FAStarIR{Proportions: []float64{0.5, 0.5}, Alpha: 0}).MTable(5); err == nil {
+		t.Error("alpha 0: expected error")
+	}
+	fa := FAStarIR{Proportions: []float64{0.5, 0.5}, Alpha: 0.1}
+	if _, err := fa.ReRank([]int{0, 1}, 3); err == nil {
+		t.Error("tau > candidates: expected error")
+	}
+	if _, err := fa.ReRank([]int{0, 7}, 2); err == nil {
+		t.Error("out-of-range group: expected error")
+	}
+	if _, err := fa.Verify([]int{0, 9}); err == nil {
+		t.Error("out-of-range group in Verify: expected error")
+	}
+}
+
+func TestBonferroniWeakerThanExact(t *testing.T) {
+	fa := FAStarIR{Proportions: []float64{0.5, 0.3, 0.2}, Alpha: 0.1}
+	exact, err := fa.MTable(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bonf, err := fa.MTableBonferroni(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Bonferroni per-group construction never demands more than the
+	// exact joint construction in total.
+	for n := 1; n <= 40; n++ {
+		sumE, sumB := 0, 0
+		for g := 1; g < 3; g++ {
+			sumE += exact[n][g]
+			sumB += bonf[n][g]
+		}
+		if sumB > sumE {
+			t.Fatalf("Bonferroni total requirement %d exceeds exact %d at n=%d", sumB, sumE, n)
+		}
+	}
+}
+
+func TestCelisGreedyRespectsCaps(t *testing.T) {
+	types := []int{0, 0, 1, 0, 1, 1, 0, 1}
+	c := CelisGreedy{Caps: []int{2, 2}}
+	got, err := c.ReRank(types, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 2)
+	for _, p := range got {
+		counts[types[p]]++
+	}
+	if counts[0] != 2 || counts[1] != 2 {
+		t.Errorf("composition = %v, want [2 2]", counts)
+	}
+	// Greedy keeps the best available: positions 0,1 (type 0) then 2,4
+	// (type 1).
+	want := []int{0, 1, 2, 4}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ReRank = %v, want %v", got, want)
+	}
+}
+
+func TestCelisGreedyInfeasible(t *testing.T) {
+	c := CelisGreedy{Caps: []int{1, 0}}
+	if _, err := c.ReRank([]int{0, 1, 1}, 2); err == nil {
+		t.Error("exhausted caps: expected error")
+	}
+	if _, err := c.ReRank([]int{0, 5}, 1); err == nil {
+		t.Error("unknown type: expected error")
+	}
+	if _, err := c.ReRank([]int{0}, 2); err == nil {
+		t.Error("tau too large: expected error")
+	}
+}
+
+func TestCelisUnconstrainedCapsKeepTopTau(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(50)
+		types := make([]int, n)
+		for i := range types {
+			types[i] = rng.Intn(3)
+		}
+		tau := rng.Intn(n + 1)
+		c := CelisGreedy{Caps: []int{n, n, n}}
+		got, err := c.ReRank(types, tau)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < tau; i++ {
+			if got[i] != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUtilityLoss(t *testing.T) {
+	scores := []float64{10, 9, 8, 7, 6}
+	if got := UtilityLoss(scores, []int{0, 1, 2}); got != 0 {
+		t.Errorf("loss of unconstrained top = %v, want 0", got)
+	}
+	loss := UtilityLoss(scores, []int{0, 1, 4})
+	if loss <= 0 || loss >= 1 {
+		t.Errorf("loss = %v, want in (0,1)", loss)
+	}
+	if got := UtilityLoss(nil, nil); got != 0 {
+		t.Errorf("empty loss = %v", got)
+	}
+}
+
+func TestCellPatternsAndAssignment(t *testing.T) {
+	pats := CellPatterns(2)
+	if len(pats) != 4 {
+		t.Fatalf("patterns = %v", pats)
+	}
+	memberships := [][]bool{
+		{false, false},
+		{true, false},
+		{true, true},
+	}
+	protected := [][]bool{{true, true}, {true, false}}
+	got := SubgroupAssignment(memberships, protected)
+	want := []int{0, 2, 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("assignment = %v, want %v", got, want)
+	}
+}
+
+func TestRankCellsByDisparity(t *testing.T) {
+	// Cell {true}: 4 members, 0 selected. Cell {false}: 4 members, 2
+	// selected. Most discriminated first = {true}.
+	memberships := [][]bool{
+		{true}, {true}, {true}, {true},
+		{false}, {false}, {false}, {false},
+	}
+	selected := []bool{false, false, false, false, true, true, false, false}
+	cells := RankCellsByDisparity(memberships, selected)
+	if len(cells) != 2 {
+		t.Fatalf("cells = %v", cells)
+	}
+	if !cells[0][0] {
+		t.Errorf("most discriminated cell should be {true}, got %v", cells)
+	}
+}

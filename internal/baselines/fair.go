@@ -1,0 +1,209 @@
+package baselines
+
+import (
+	"fmt"
+
+	"fairrank/internal/stats"
+)
+
+// FAIR implements the original binomial FA*IR algorithm (Zehlike, Bonchi,
+// Castillo, Hajian, Megahed, Baeza-Yates, CIKM 2017 — reference [15] of
+// the paper), the single-protected-group predecessor of Multinomial FA*IR.
+// It is included both as a baseline in its own right and to expose the
+// paper's point that single-group methods cannot address multi-dimensional
+// disparity.
+//
+// A top-tau ranking is "fair" when, for every prefix of length n, the
+// count of protected candidates is not significantly below what i.i.d.
+// Bernoulli(P) positions would produce: count >= m_alpha(n) with
+// m_alpha(n) the alpha-quantile of Binomial(n, P).
+//
+// Because the test is applied to every prefix, the family-wise type-I
+// error exceeds alpha; AdjustAlpha computes the corrected per-test
+// significance alpha_c (Zehlike et al.'s "model adjustment") such that a
+// genuinely fair ranking fails *any* of the tau tests with probability
+// alpha overall, using an exact dynamic program over the reachable
+// (prefix, protected-count) states.
+type FAIR struct {
+	// P is the minimum target proportion of protected candidates
+	// (typically their population share).
+	P float64
+	// Alpha is the desired overall (family-wise) significance.
+	Alpha float64
+}
+
+func (f FAIR) validate() error {
+	if f.P <= 0 || f.P >= 1 {
+		return fmt.Errorf("baselines: FA*IR proportion %v outside (0,1)", f.P)
+	}
+	if f.Alpha <= 0 || f.Alpha >= 1 {
+		return fmt.Errorf("baselines: FA*IR alpha %v outside (0,1)", f.Alpha)
+	}
+	return nil
+}
+
+// MTable returns the minimum protected counts m[1..tau] at per-test
+// significance alpha: m[n] is the smallest m with BinomialCDF(m; n, P)
+// >= alpha. (Pass the output of AdjustAlpha for family-wise control.)
+func (f FAIR) MTable(tau int, alpha float64) ([]int, error) {
+	if err := f.validate(); err != nil {
+		return nil, err
+	}
+	m := make([]int, tau+1)
+	for n := 1; n <= tau; n++ {
+		b := stats.Binomial{N: n, P: f.P}
+		q, err := b.Quantile(alpha)
+		if err != nil {
+			return nil, err
+		}
+		m[n] = q
+	}
+	return m, nil
+}
+
+// FailProbability returns the exact probability that a ranking whose
+// positions are i.i.d. protected with probability P fails at least one of
+// the tau prefix tests of the given mtable. This is the family-wise
+// type-I error of the test series, computed by a dynamic program over the
+// surviving (prefix, protected-count) states.
+func (f FAIR) FailProbability(mtable []int) (float64, error) {
+	if err := f.validate(); err != nil {
+		return 0, err
+	}
+	tau := len(mtable) - 1
+	// alive[c] = probability of reaching prefix n with c protected so far
+	// without having failed any earlier test.
+	alive := make([]float64, tau+2)
+	next := make([]float64, tau+2)
+	alive[0] = 1
+	surviving := 1.0
+	for n := 1; n <= tau; n++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for c, pr := range alive[:n] {
+			if pr == 0 {
+				continue
+			}
+			next[c+1] += pr * f.P
+			next[c] += pr * (1 - f.P)
+		}
+		// Kill states below the requirement.
+		req := mtable[n]
+		var aliveMass float64
+		for c := 0; c <= n; c++ {
+			if c < req {
+				next[c] = 0
+			} else {
+				aliveMass += next[c]
+			}
+		}
+		surviving = aliveMass
+		alive, next = next, alive
+	}
+	return 1 - surviving, nil
+}
+
+// AdjustAlpha binary-searches the corrected per-test significance alpha_c
+// whose mtable has family-wise failure probability Alpha over tau
+// prefixes. It returns alpha_c and the corresponding mtable.
+func (f FAIR) AdjustAlpha(tau int) (alphaC float64, mtable []int, err error) {
+	if err := f.validate(); err != nil {
+		return 0, nil, err
+	}
+	lo, hi := 0.0, f.Alpha
+	var bestM []int
+	bestA := 0.0
+	for iter := 0; iter < 40; iter++ {
+		mid := (lo + hi) / 2
+		if mid == 0 {
+			break
+		}
+		m, err := f.MTable(tau, mid)
+		if err != nil {
+			return 0, nil, err
+		}
+		p, err := f.FailProbability(m)
+		if err != nil {
+			return 0, nil, err
+		}
+		if p <= f.Alpha {
+			bestA, bestM = mid, m
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	if bestM == nil {
+		// Even tiny alpha_c over-rejects (can happen for extreme P); fall
+		// back to the trivial mtable of zeros, which never rejects.
+		bestM = make([]int, tau+1)
+		bestA = 0
+	}
+	return bestA, bestM, nil
+}
+
+// ReRank produces a fair top-tau ranking from candidates sorted by
+// descending score, with protected[i] marking the protected candidates.
+// The greedy emits the best remaining candidate unless the mtable
+// requirement at the next position is unmet, in which case the best
+// remaining protected candidate is emitted. It returns positions into the
+// candidate slice. The mtable must come from MTable or AdjustAlpha.
+func (f FAIR) ReRank(protected []bool, tau int, mtable []int) ([]int, error) {
+	if tau < 0 || tau > len(protected) {
+		return nil, fmt.Errorf("baselines: FA*IR tau %d outside [0,%d]", tau, len(protected))
+	}
+	if len(mtable) < tau+1 {
+		return nil, fmt.Errorf("baselines: mtable covers %d prefixes, need %d", len(mtable)-1, tau)
+	}
+	var protQ, openQ []int
+	for i, p := range protected {
+		if p {
+			protQ = append(protQ, i)
+		} else {
+			openQ = append(openQ, i)
+		}
+	}
+	var hp, ho, count int
+	out := make([]int, 0, tau)
+	for pos := 1; pos <= tau; pos++ {
+		needProtected := count < mtable[pos]
+		switch {
+		case needProtected && hp < len(protQ):
+			out = append(out, protQ[hp])
+			hp++
+			count++
+		case needProtected:
+			return nil, fmt.Errorf("baselines: FA*IR ran out of protected candidates at position %d", pos)
+		default:
+			// Best remaining candidate overall.
+			switch {
+			case hp < len(protQ) && (ho >= len(openQ) || protQ[hp] < openQ[ho]):
+				out = append(out, protQ[hp])
+				hp++
+				count++
+			case ho < len(openQ):
+				out = append(out, openQ[ho])
+				ho++
+			default:
+				return nil, fmt.Errorf("baselines: FA*IR ran out of candidates at position %d", pos)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Verify reports the first prefix at which the ranking (protected flags in
+// ranked order) violates the mtable, or 0 if it satisfies every prefix.
+func (f FAIR) Verify(protected []bool, mtable []int) int {
+	count := 0
+	for n := 1; n <= len(protected) && n < len(mtable); n++ {
+		if protected[n-1] {
+			count++
+		}
+		if count < mtable[n] {
+			return n
+		}
+	}
+	return 0
+}

@@ -1,0 +1,211 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFAIRMTableMonotone(t *testing.T) {
+	f := FAIR{P: 0.3, Alpha: 0.1}
+	m, err := f.MTable(100, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 1; n <= 100; n++ {
+		if m[n] < m[n-1] {
+			t.Fatalf("mtable not monotone at %d: %d < %d", n, m[n], m[n-1])
+		}
+		if m[n] > n {
+			t.Fatalf("mtable demands %d of %d", m[n], n)
+		}
+	}
+	// Requirements grow toward the proportional share for long prefixes.
+	if m[100] < 15 || m[100] > 30 {
+		t.Errorf("m[100] = %d, want near 30*0.3 minus slack", m[100])
+	}
+}
+
+func TestFAIRFailProbability(t *testing.T) {
+	f := FAIR{P: 0.3, Alpha: 0.1}
+	// The zero mtable never rejects.
+	zero := make([]int, 51)
+	p, err := f.FailProbability(zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-9 {
+		t.Errorf("zero mtable fail probability = %v, want ≈ 0", p)
+	}
+	// An unadjusted mtable over many prefixes rejects a fair ranking more
+	// often than alpha (the multiple-testing problem).
+	m, err := f.MTable(50, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err = f.FailProbability(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p <= 0.1 {
+		t.Errorf("unadjusted fail probability = %v, expected > alpha", p)
+	}
+	// Monte Carlo agreement.
+	rng := rand.New(rand.NewSource(6))
+	const trials = 40000
+	fails := 0
+	for tr := 0; tr < trials; tr++ {
+		count := 0
+		for n := 1; n <= 50; n++ {
+			if rng.Float64() < 0.3 {
+				count++
+			}
+			if count < m[n] {
+				fails++
+				break
+			}
+		}
+	}
+	mc := float64(fails) / trials
+	if diff := p - mc; diff > 0.01 || diff < -0.01 {
+		t.Errorf("exact fail probability %v vs Monte Carlo %v", p, mc)
+	}
+}
+
+func TestFAIRAdjustAlphaControlsFamilywiseError(t *testing.T) {
+	f := FAIR{P: 0.3, Alpha: 0.1}
+	alphaC, m, err := f.AdjustAlpha(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alphaC >= f.Alpha || alphaC <= 0 {
+		t.Errorf("adjusted alpha = %v, want in (0, %v)", alphaC, f.Alpha)
+	}
+	p, err := f.FailProbability(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > f.Alpha+1e-9 {
+		t.Errorf("adjusted mtable fail probability %v exceeds alpha %v", p, f.Alpha)
+	}
+	// And it is close to the target, not trivially lax.
+	if p < f.Alpha/4 {
+		t.Errorf("adjusted mtable fail probability %v far below alpha %v", p, f.Alpha)
+	}
+}
+
+func TestFAIRReRankSatisfiesMTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := FAIR{P: 0.3, Alpha: 0.1}
+	_, m, err := f.AdjustAlpha(80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Biased candidate list: protected concentrated toward the bottom.
+	protected := make([]bool, 500)
+	for i := range protected {
+		protected[i] = rng.Float64() < 0.3*2*float64(i)/500
+	}
+	positions, err := f.ReRank(protected, 80, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flags := make([]bool, len(positions))
+	seen := make(map[int]bool)
+	for r, p := range positions {
+		if seen[p] {
+			t.Fatalf("duplicate position %d", p)
+		}
+		seen[p] = true
+		flags[r] = protected[p]
+	}
+	if at := f.Verify(flags, m); at != 0 {
+		t.Errorf("re-ranked list violates mtable at prefix %d", at)
+	}
+	// Positions within each class stay score-ordered (greedy never skips a
+	// better candidate of the same class).
+	var lastProt, lastOpen = -1, -1
+	for _, p := range positions {
+		if protected[p] {
+			if p < lastProt {
+				t.Fatalf("protected candidates out of score order")
+			}
+			lastProt = p
+		} else {
+			if p < lastOpen {
+				t.Fatalf("open candidates out of score order")
+			}
+			lastOpen = p
+		}
+	}
+}
+
+func TestFAIRReRankNoConstraint(t *testing.T) {
+	// P tiny -> mtable all zeros -> output is the unconstrained top-tau.
+	f := FAIR{P: 0.05, Alpha: 0.1}
+	m, err := f.MTable(10, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	protected := []bool{false, true, false, false, true, false, false, false, false, false, false, false}
+	positions, err := f.ReRank(protected, 10, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range positions {
+		if p != i {
+			t.Fatalf("positions = %v, want identity prefix", positions)
+		}
+	}
+}
+
+func TestFAIRErrors(t *testing.T) {
+	if _, err := (FAIR{P: 0, Alpha: 0.1}).MTable(5, 0.1); err == nil {
+		t.Error("P=0: expected error")
+	}
+	if _, err := (FAIR{P: 0.3, Alpha: 1}).MTable(5, 0.1); err == nil {
+		t.Error("alpha=1: expected error")
+	}
+	f := FAIR{P: 0.9, Alpha: 0.1}
+	m, err := f.MTable(4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not enough protected candidates to satisfy a demanding mtable.
+	if _, err := f.ReRank([]bool{false, false, false, false}, 4, m); err == nil {
+		t.Error("expected error when protected candidates run out")
+	}
+	if _, err := f.ReRank([]bool{true}, 4, m); err == nil {
+		t.Error("tau > candidates: expected error")
+	}
+	if _, err := f.ReRank([]bool{true, true}, 2, []int{0}); err == nil {
+		t.Error("short mtable: expected error")
+	}
+}
+
+// Property: for any P and alpha, the adjusted mtable never demands more
+// than the unadjusted one (alpha_c <= alpha shrinks requirements).
+func TestFAIRAdjustedNeverStricter(t *testing.T) {
+	fn := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := FAIR{P: 0.1 + 0.6*rng.Float64(), Alpha: 0.05 + 0.1*rng.Float64()}
+		const tau = 30
+		plain, err := f.MTable(tau, f.Alpha)
+		if err != nil {
+			return false
+		}
+		_, adjusted, err := f.AdjustAlpha(tau)
+		if err != nil {
+			return false
+		}
+		for n := 1; n <= tau; n++ {
+			if adjusted[n] > plain[n] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,86 @@
+// Package baselines implements the comparison systems of the paper's
+// Section VI-C: the single set-aside quota used by real school districts
+// (Figure 6), the Multinomial FA*IR post-processing re-ranker of Zehlike et
+// al. 2022 (Table II), and the (Δ+2)-approximation greedy re-ranker of
+// Celis et al. (Figure 7).
+package baselines
+
+import (
+	"fmt"
+
+	"fairrank/internal/dataset"
+	"fairrank/internal/rank"
+)
+
+// Quota implements the real-world single set-aside: a fraction of the
+// selection is reserved for members of any of the listed (binary) fairness
+// attributes, mirroring how the NYC school system applies one quota across
+// all dimensions of disadvantage.
+type Quota struct {
+	// Reserve is the fraction of selected seats set aside for disadvantaged
+	// objects, in [0, 1].
+	Reserve float64
+	// MemberCols are the binary fairness attribute columns whose union
+	// defines "disadvantaged".
+	MemberCols []int
+}
+
+// Select returns the selected objects for a top-frac selection over the
+// base scores: open seats go to the highest scorers overall, reserved
+// seats to the highest-scoring disadvantaged objects not already admitted.
+// If there are not enough disadvantaged candidates the unused reserved
+// seats revert to open competition (a soft quota).
+func (q Quota) Select(d *dataset.Dataset, base []float64, frac float64) ([]int, error) {
+	if q.Reserve < 0 || q.Reserve > 1 {
+		return nil, fmt.Errorf("baselines: quota reserve %v outside [0,1]", q.Reserve)
+	}
+	total, err := rank.SelectCount(d.N(), frac)
+	if err != nil {
+		return nil, err
+	}
+	reserved := int(q.Reserve*float64(total) + 0.5)
+	open := total - reserved
+
+	member := make([]bool, d.N())
+	for _, c := range q.MemberCols {
+		col := d.FairColumn(c)
+		for i, v := range col {
+			if v > 0.5 {
+				member[i] = true
+			}
+		}
+	}
+
+	order := rank.Order(base)
+	selected := make([]int, 0, total)
+	taken := make([]bool, d.N())
+	// Pass 1: open seats by pure rank.
+	for _, i := range order {
+		if len(selected) >= open {
+			break
+		}
+		selected = append(selected, i)
+		taken[i] = true
+	}
+	// Pass 2: reserved seats to the best remaining disadvantaged objects.
+	for _, i := range order {
+		if len(selected) >= total {
+			break
+		}
+		if !taken[i] && member[i] {
+			selected = append(selected, i)
+			taken[i] = true
+		}
+	}
+	// Pass 3: unused reserve reverts to open competition.
+	for _, i := range order {
+		if len(selected) >= total {
+			break
+		}
+		if !taken[i] {
+			selected = append(selected, i)
+			taken[i] = true
+		}
+	}
+	return selected, nil
+}

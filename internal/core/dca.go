@@ -1,0 +1,348 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"fairrank/internal/dataset"
+	"fairrank/internal/optimize"
+	"fairrank/internal/rank"
+	"fairrank/internal/sample"
+)
+
+// Options configures a DCA run. The zero value is not usable; start from
+// DefaultOptions, which encodes the paper's empirical settings
+// (Section V-B).
+type Options struct {
+	// SampleSize is the number of objects drawn per descent step. The paper
+	// derives a lower bound of max(1/k, 1/r) * 30 with r the frequency of
+	// the rarest group and uses 500 for the school data.
+	SampleSize int
+	// Ladder is the decreasing learning-rate schedule of Algorithm 1.
+	Ladder optimize.Ladder
+	// RefineSteps is the number of Adam steps in Algorithm 2; 0 disables
+	// refinement (Core DCA).
+	RefineSteps int
+	// RefineLR is Adam's base step size during refinement.
+	RefineLR float64
+	// AverageWindow is how many trailing refinement iterates are averaged
+	// ("the rolling average of the last 100 points"). Capped at
+	// RefineSteps; 0 means all of them.
+	AverageWindow int
+	// Granularity rounds the final bonus points to a stakeholder-friendly
+	// multiple (paper: 0.5). 0 disables rounding.
+	Granularity float64
+	// MaxBonus caps every bonus dimension (Section VI-A4); 0 means
+	// unlimited. The cap is enforced at every step, which lets correlated
+	// uncapped attributes absorb the residual.
+	MaxBonus float64
+	// Polarity states whether selection is beneficial (school admission,
+	// bonus added) or adverse (recidivism flagging, bonus subtracted).
+	Polarity rank.Polarity
+	// Seed drives all sampling and the random initialization.
+	Seed int64
+	// InitBonus optionally fixes the starting vector (copied); otherwise
+	// initialization is uniform in [0, 1) per dimension, as in Algorithm 1.
+	InitBonus []float64
+	// Trace, when non-nil, observes every descent step.
+	Trace func(TraceStep)
+}
+
+// TraceStep is one observed descent step.
+type TraceStep struct {
+	Stage     string // "core" or "refine"
+	Step      int    // step index within the stage sequence
+	LR        float64
+	Bonus     []float64 // copy of the bonus vector after the update
+	Objective []float64 // objective vector measured before the update
+}
+
+// DefaultOptions returns the paper's settings: sample size 500, learning
+// rates {1.0, 0.1} for 100 steps each, 100 Adam refinement steps averaged
+// over the trailing 100 iterates, and 0.5-point granularity.
+func DefaultOptions() Options {
+	return Options{
+		SampleSize:    500,
+		Ladder:        optimize.DefaultLadder(),
+		RefineSteps:   100,
+		RefineLR:      0.05,
+		AverageWindow: 100,
+		Granularity:   0.5,
+		Polarity:      rank.Beneficial,
+		Seed:          1,
+	}
+}
+
+// Result is the outcome of a full DCA run.
+type Result struct {
+	// Bonus is the final bonus-point vector, rounded to Granularity,
+	// indexed by fairness attribute.
+	Bonus []float64
+	// Raw is the unrounded vector after refinement averaging.
+	Raw []float64
+	// CoreBonus is the vector after Algorithm 1, before refinement.
+	CoreBonus []float64
+	// Steps is the total number of descent steps taken.
+	Steps int
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+}
+
+func (o *Options) validate(d *dataset.Dataset) error {
+	if d.N() == 0 {
+		return fmt.Errorf("core: empty dataset")
+	}
+	if d.NumFair() == 0 {
+		return fmt.Errorf("core: dataset has no fairness attributes")
+	}
+	if o.SampleSize <= 0 {
+		return fmt.Errorf("core: sample size %d", o.SampleSize)
+	}
+	if o.SampleSize > d.N() {
+		o.SampleSize = d.N()
+	}
+	if err := o.Ladder.Validate(); err != nil {
+		return err
+	}
+	if o.RefineSteps < 0 {
+		return fmt.Errorf("core: negative refinement steps %d", o.RefineSteps)
+	}
+	if o.RefineSteps > 0 && o.RefineLR <= 0 {
+		return fmt.Errorf("core: refinement enabled with step size %v", o.RefineLR)
+	}
+	if o.Granularity < 0 {
+		return fmt.Errorf("core: negative granularity %v", o.Granularity)
+	}
+	if o.MaxBonus < 0 {
+		return fmt.Errorf("core: negative bonus cap %v", o.MaxBonus)
+	}
+	if o.InitBonus != nil && len(o.InitBonus) != d.NumFair() {
+		return fmt.Errorf("core: initial bonus has %d dimensions, dataset has %d", len(o.InitBonus), d.NumFair())
+	}
+	return nil
+}
+
+// clampBonus enforces b >= 0 (the paper's "no penalties" requirement) and
+// the optional per-dimension cap.
+func clampBonus(b []float64, maxBonus float64) {
+	for j := range b {
+		if b[j] < 0 {
+			b[j] = 0
+		}
+		if maxBonus > 0 && b[j] > maxBonus {
+			b[j] = maxBonus
+		}
+	}
+}
+
+// RoundTo rounds every dimension of b to the nearest multiple of
+// granularity (no-op when granularity is 0) and returns b.
+func RoundTo(b []float64, granularity float64) []float64 {
+	if granularity <= 0 {
+		return b
+	}
+	for j := range b {
+		b[j] = math.Round(b[j]/granularity) * granularity
+	}
+	return b
+}
+
+// Scale returns a copy of b multiplied by w and rounded to granularity —
+// the proportional bonus reduction of Figures 2 and 3.
+func Scale(b []float64, w, granularity float64) []float64 {
+	out := make([]float64, len(b))
+	for j := range b {
+		out[j] = b[j] * w
+	}
+	return RoundTo(out, granularity)
+}
+
+// Run executes the full DCA pipeline of the paper: Algorithm 1 (ladder
+// descent over random samples), Algorithm 2 (Adam refinement over epoch
+// samples with trailing-average smoothing) when RefineSteps > 0, and final
+// rounding to Granularity.
+//
+// scorer provides the base ranking function f; obj is the fairness
+// objective to drive to zero.
+func Run(d *dataset.Dataset, scorer rank.Scorer, obj Objective, opts Options) (Result, error) {
+	start := time.Now()
+	if err := opts.validate(d); err != nil {
+		return Result{}, err
+	}
+	base := scorer.BaseScores(d)
+	smp := sample.New(d.N(), opts.Seed)
+
+	b := initBonus(d, smp, opts)
+	steps, err := coreDescent(d, base, obj, b, smp, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{CoreBonus: append([]float64(nil), b...), Steps: steps}
+
+	if opts.RefineSteps > 0 {
+		rsteps, err := refine(d, base, obj, b, smp, opts)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Steps += rsteps
+	}
+	res.Raw = append([]float64(nil), b...)
+	res.Bonus = RoundTo(b, opts.Granularity)
+	clampBonus(res.Bonus, opts.MaxBonus)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// CoreDCA executes Algorithm 1 only (no refinement, no rounding) and
+// returns the raw bonus vector. The paper reports it as "Core DCA"; Table I
+// applies granularity rounding to its output, which callers get via
+// RoundTo.
+func CoreDCA(d *dataset.Dataset, scorer rank.Scorer, obj Objective, opts Options) (Result, error) {
+	opts.RefineSteps = 0
+	return Run(d, scorer, obj, opts)
+}
+
+func initBonus(d *dataset.Dataset, smp *sample.Sampler, opts Options) []float64 {
+	b := make([]float64, d.NumFair())
+	if opts.InitBonus != nil {
+		copy(b, opts.InitBonus)
+	} else {
+		for j := range b {
+			b[j] = smp.Rand().Float64()
+		}
+	}
+	clampBonus(b, opts.MaxBonus)
+	return b
+}
+
+// coreDescent runs the learning-rate ladder of Algorithm 1, mutating b.
+func coreDescent(d *dataset.Dataset, base []float64, obj Objective, b []float64, smp *sample.Sampler, opts Options) (int, error) {
+	sign := opts.Polarity.Sign()
+	eff := make([]float64, opts.SampleSize)
+	steps := 0
+	for _, stage := range opts.Ladder {
+		for x := 0; x < stage.Steps; x++ {
+			idx := smp.Uniform(opts.SampleSize)
+			rank.EffectiveScores(d, base, idx, b, opts.Polarity, eff)
+			dvec, err := obj.Eval(d, idx, eff)
+			if err != nil {
+				return steps, err
+			}
+			for j := range b {
+				b[j] -= sign * stage.LR * dvec[j]
+			}
+			clampBonus(b, opts.MaxBonus)
+			steps++
+			if opts.Trace != nil {
+				opts.Trace(TraceStep{
+					Stage: "core", Step: steps, LR: stage.LR,
+					Bonus: append([]float64(nil), b...), Objective: dvec,
+				})
+			}
+		}
+	}
+	return steps, nil
+}
+
+// refine runs Algorithm 2, mutating b to the trailing average of the Adam
+// iterates.
+func refine(d *dataset.Dataset, base []float64, obj Objective, b []float64, smp *sample.Sampler, opts Options) (int, error) {
+	sign := opts.Polarity.Sign()
+	dims := len(b)
+	adam := optimize.NewAdam(dims, opts.RefineLR)
+	eff := make([]float64, opts.SampleSize)
+	grad := make([]float64, dims)
+	avg := make([]float64, dims)
+	window := opts.AverageWindow
+	if window <= 0 || window > opts.RefineSteps {
+		window = opts.RefineSteps
+	}
+	count := 0
+	for x := 0; x < opts.RefineSteps; x++ {
+		idx := smp.Next(opts.SampleSize)
+		rank.EffectiveScores(d, base, idx, b, opts.Polarity, eff)
+		dvec, err := obj.Eval(d, idx, eff)
+		if err != nil {
+			return x, err
+		}
+		for j := range grad {
+			grad[j] = sign * dvec[j]
+		}
+		adam.Step(b, grad)
+		clampBonus(b, opts.MaxBonus)
+		if x >= opts.RefineSteps-window {
+			for j := range avg {
+				avg[j] += b[j]
+			}
+			count++
+		}
+		if opts.Trace != nil {
+			opts.Trace(TraceStep{
+				Stage: "refine", Step: x + 1, LR: opts.RefineLR,
+				Bonus: append([]float64(nil), b...), Objective: dvec,
+			})
+		}
+	}
+	if count > 0 {
+		for j := range b {
+			b[j] = avg[j] / float64(count)
+		}
+	}
+	clampBonus(b, opts.MaxBonus)
+	return opts.RefineSteps, nil
+}
+
+// FullDCA is the whole-dataset variant of Section IV-C: identical to
+// Algorithm 1 but every step evaluates the objective on the entire
+// population instead of a sample. It is O(ladder steps × n log n) and
+// exists to validate the sampled algorithm (Theorem 4.1's swap guarantee
+// holds exactly for it).
+func FullDCA(d *dataset.Dataset, scorer rank.Scorer, obj Objective, opts Options) (Result, error) {
+	start := time.Now()
+	opts.SampleSize = d.N()
+	opts.RefineSteps = 0
+	if err := opts.validate(d); err != nil {
+		return Result{}, err
+	}
+	base := scorer.BaseScores(d)
+	smp := sample.New(d.N(), opts.Seed)
+	b := initBonus(d, smp, opts)
+
+	all := make([]int, d.N())
+	for i := range all {
+		all[i] = i
+	}
+	sign := opts.Polarity.Sign()
+	eff := make([]float64, d.N())
+	steps := 0
+	for _, stage := range opts.Ladder {
+		for x := 0; x < stage.Steps; x++ {
+			rank.EffectiveScores(d, base, all, b, opts.Polarity, eff)
+			dvec, err := obj.Eval(d, all, eff)
+			if err != nil {
+				return Result{}, err
+			}
+			for j := range b {
+				b[j] -= sign * stage.LR * dvec[j]
+			}
+			clampBonus(b, opts.MaxBonus)
+			steps++
+			if opts.Trace != nil {
+				opts.Trace(TraceStep{
+					Stage: "full", Step: steps, LR: stage.LR,
+					Bonus: append([]float64(nil), b...), Objective: dvec,
+				})
+			}
+		}
+	}
+	res := Result{
+		CoreBonus: append([]float64(nil), b...),
+		Raw:       append([]float64(nil), b...),
+		Bonus:     RoundTo(append([]float64(nil), b...), opts.Granularity),
+		Steps:     steps,
+		Elapsed:   time.Since(start),
+	}
+	clampBonus(res.Bonus, opts.MaxBonus)
+	return res, nil
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+
+	"fairrank/internal/dataset"
+	"fairrank/internal/metrics"
+	"fairrank/internal/rank"
+)
+
+// Evaluator measures the effect of a bonus vector on a full dataset. It
+// precomputes the base scores, the uncompensated ranking (the nDCG ideal),
+// and the population centroid so repeated evaluations — parameter sweeps
+// across k, bonus scalings, per-figure series — stay cheap.
+type Evaluator struct {
+	d        *dataset.Dataset
+	pol      rank.Polarity
+	base     []float64
+	origOrd  []int
+	centroid []float64
+	all      []int
+}
+
+// NewEvaluator builds an evaluator for the dataset under the given ranking
+// function and polarity.
+func NewEvaluator(d *dataset.Dataset, scorer rank.Scorer, pol rank.Polarity) *Evaluator {
+	base := scorer.BaseScores(d)
+	all := make([]int, d.N())
+	for i := range all {
+		all[i] = i
+	}
+	return &Evaluator{
+		d:        d,
+		pol:      pol,
+		base:     base,
+		origOrd:  rank.Order(base),
+		centroid: d.FairCentroid(),
+		all:      all,
+	}
+}
+
+// Dataset returns the underlying dataset.
+func (e *Evaluator) Dataset() *dataset.Dataset { return e.d }
+
+// BaseScores returns the uncompensated scores (do not modify).
+func (e *Evaluator) BaseScores() []float64 { return e.base }
+
+// Order returns the full ranking under the given bonus vector (descending
+// effective score). A nil or all-zero bonus reproduces the original
+// ranking.
+func (e *Evaluator) Order(bonus []float64) []int {
+	if isZero(bonus) {
+		return e.origOrd
+	}
+	eff := rank.EffectiveScoresAll(e.d, e.base, bonus, e.pol)
+	return rank.Order(eff)
+}
+
+// Select returns the top-k fraction of the population under the bonus
+// vector, in ranked order.
+func (e *Evaluator) Select(bonus []float64, k float64) ([]int, error) {
+	cnt, err := rank.SelectCount(e.d.N(), k)
+	if err != nil {
+		return nil, err
+	}
+	if isZero(bonus) {
+		return e.origOrd[:cnt], nil
+	}
+	eff := rank.EffectiveScoresAll(e.d, e.base, bonus, e.pol)
+	return rank.TopK(eff, cnt), nil
+}
+
+// Disparity returns the full-population disparity vector of the top-k
+// selection under the bonus vector.
+func (e *Evaluator) Disparity(bonus []float64, k float64) ([]float64, error) {
+	sel, err := e.Select(bonus, k)
+	if err != nil {
+		return nil, err
+	}
+	return metrics.DisparityAgainst(e.d, sel, e.centroid), nil
+}
+
+// NDCG returns the utility of the compensated ranking at selection
+// fraction k, with the uncompensated ranking as the ideal.
+func (e *Evaluator) NDCG(bonus []float64, k float64) (float64, error) {
+	return metrics.NDCGAtFrac(e.base, e.Order(bonus), e.origOrd, k)
+}
+
+// LogDiscounted returns the logarithmically discounted disparity of the
+// full ranking under the bonus vector.
+func (e *Evaluator) LogDiscounted(bonus []float64, ld metrics.LogDiscount) ([]float64, error) {
+	return ld.Eval(e.d, e.Order(bonus))
+}
+
+// DisparateImpact returns the scaled disparate-impact vector of the top-k
+// selection under the bonus vector.
+func (e *Evaluator) DisparateImpact(bonus []float64, k float64) ([]float64, error) {
+	sel, err := e.Select(bonus, k)
+	if err != nil {
+		return nil, err
+	}
+	return metrics.DisparateImpactWithin(e.d, e.all, sel), nil
+}
+
+// FPRDiff returns the per-group FPR difference vector of the top-k
+// selection under the bonus vector. The dataset must carry outcomes.
+func (e *Evaluator) FPRDiff(bonus []float64, k float64) ([]float64, error) {
+	if !e.d.HasOutcomes() {
+		return nil, fmt.Errorf("core: FPR evaluation requires outcomes")
+	}
+	sel, err := e.Select(bonus, k)
+	if err != nil {
+		return nil, err
+	}
+	return metrics.FPRDiffWithin(e.d, e.all, sel), nil
+}
+
+// FindScaleForNDCG binary-searches the proportional weight w in [0, 1] such
+// that applying Scale(bonus, w) reaches the target nDCG at selection
+// fraction k (Section VI-A2: "the correct proportion of bonus points to
+// apply can be selected through a binary search"). nDCG decreases as w
+// grows, so the search brackets the largest w whose nDCG is still at least
+// target.
+func (e *Evaluator) FindScaleForNDCG(bonus []float64, k, target, granularity float64) (w float64, err error) {
+	lo, hi := 0.0, 1.0
+	full, err := e.NDCG(Scale(bonus, 1, granularity), k)
+	if err != nil {
+		return 0, err
+	}
+	if full >= target {
+		return 1, nil
+	}
+	for iter := 0; iter < 40; iter++ {
+		mid := (lo + hi) / 2
+		v, err := e.NDCG(Scale(bonus, mid, granularity), k)
+		if err != nil {
+			return 0, err
+		}
+		if v >= target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+func isZero(b []float64) bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}

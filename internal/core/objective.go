@@ -1,0 +1,217 @@
+// Package core implements the paper's primary contribution: the Disparity
+// Compensation Algorithm (DCA).
+//
+// DCA searches for a vector of compensatory bonus points B >= 0 that, when
+// combined with the fairness attributes of each object
+// (f_b(o) = f(o) ± A_f·B, Definition 2), minimizes the L2 norm of a
+// fairness objective vector. The search cannot use gradients — top-k
+// selection makes the objective a step function — so DCA descends along the
+// objective vector itself, evaluated on small random samples:
+//
+//   - CoreDCA (Algorithm 1): a ladder of decreasing learning rates; each
+//     step draws a fresh sample, measures the objective of the top-k
+//     selection under the current bonus vector, and moves the vector
+//     against it.
+//   - Refine (Algorithm 2): Adam-driven steps on epoch samples followed by
+//     a rolling average of the iterates and rounding to a stakeholder
+//     granularity.
+//   - Run: the full pipeline (Core + Refine + rounding) the paper calls
+//     "DCA".
+//   - FullDCA: the whole-dataset variant of Section IV-C, which satisfies
+//     the swap guarantee of Theorem 4.1 and is used to validate the sampled
+//     algorithm.
+//
+// The objective is pluggable (Section VI-C5). Any PrefixMetric — a
+// fairness vector of a selected prefix, one dimension per fairness
+// attribute, bounded in [-1, 1] and zero at parity — can be optimized at a
+// fixed selection fraction or under the logarithmic discounting of
+// Section IV-E, which covers every combination the paper evaluates:
+// disparity@k, log-discounted disparity, disparate impact, and false
+// positive rate differences.
+package core
+
+import (
+	"fmt"
+
+	"fairrank/internal/dataset"
+	"fairrank/internal/metrics"
+	"fairrank/internal/rank"
+)
+
+// Objective measures the unfairness of a ranking outcome on a sample. Eval
+// receives the sample (absolute object indices into the dataset) together
+// with the effective, bonus-adjusted scores aligned with that sample, and
+// returns a vector with one dimension per fairness attribute in [-1, 1]
+// (0 = parity). DCA drives this vector toward zero.
+type Objective interface {
+	Eval(d *dataset.Dataset, sampleIdx []int, eff []float64) ([]float64, error)
+	Name() string
+}
+
+// PrefixMetric computes a fairness vector for one selected prefix of a
+// sample. sampleIdx is the whole sample, selIdx ⊆ sampleIdx the selection;
+// both hold absolute object indices. Implementations must return one
+// dimension per fairness attribute, each in [-1, 1] with 0 at parity.
+type PrefixMetric interface {
+	EvalPrefix(d *dataset.Dataset, sampleIdx, selIdx []int) []float64
+	MetricName() string
+}
+
+// DisparityMetric is the paper's primary metric: the disparity vector of
+// Definition 3 computed within the sample.
+type DisparityMetric struct{}
+
+// MetricName implements PrefixMetric.
+func (DisparityMetric) MetricName() string { return "disparity" }
+
+// EvalPrefix implements PrefixMetric.
+func (DisparityMetric) EvalPrefix(d *dataset.Dataset, sampleIdx, selIdx []int) []float64 {
+	return metrics.DisparityWithin(d, sampleIdx, selIdx)
+}
+
+// DisparateImpactMetric is the scaled disparate impact of Section VI-C5.
+// Only meaningful for binary fairness attributes.
+type DisparateImpactMetric struct{}
+
+// MetricName implements PrefixMetric.
+func (DisparateImpactMetric) MetricName() string { return "disparate-impact" }
+
+// EvalPrefix implements PrefixMetric.
+func (DisparateImpactMetric) EvalPrefix(d *dataset.Dataset, sampleIdx, selIdx []int) []float64 {
+	return metrics.DisparateImpactWithin(d, sampleIdx, selIdx)
+}
+
+// FPRMetric is the per-group false positive rate difference (the
+// equalized-odds extension used on COMPAS, Figure 10b). Datasets must
+// carry ground-truth outcomes.
+type FPRMetric struct{}
+
+// outcomeDependent marks metrics that are undefined on datasets without
+// ground-truth outcomes; the objective wrappers reject such datasets
+// eagerly instead of silently optimizing a zero vector.
+type outcomeDependent interface {
+	requiresOutcomes()
+}
+
+func (FPRMetric) requiresOutcomes() {}
+
+func checkOutcomes(d *dataset.Dataset, m PrefixMetric) error {
+	if _, ok := m.(outcomeDependent); ok && !d.HasOutcomes() {
+		return fmt.Errorf("core: objective %s requires a dataset with outcomes", m.MetricName())
+	}
+	return nil
+}
+
+// MetricName implements PrefixMetric.
+func (FPRMetric) MetricName() string { return "fpr-diff" }
+
+// EvalPrefix implements PrefixMetric.
+func (FPRMetric) EvalPrefix(d *dataset.Dataset, sampleIdx, selIdx []int) []float64 {
+	return metrics.FPRDiffWithin(d, sampleIdx, selIdx)
+}
+
+// AtK optimizes a prefix metric at a single known selection fraction K.
+type AtK struct {
+	K      float64
+	Metric PrefixMetric
+}
+
+// DisparityObjective returns the paper's default objective: disparity of
+// the top-k selection.
+func DisparityObjective(k float64) AtK { return AtK{K: k, Metric: DisparityMetric{}} }
+
+// DisparateImpactObjective returns the disparate-impact objective at k.
+func DisparateImpactObjective(k float64) AtK { return AtK{K: k, Metric: DisparateImpactMetric{}} }
+
+// FPRObjective returns the false-positive-rate objective at k.
+func FPRObjective(k float64) AtK { return AtK{K: k, Metric: FPRMetric{}} }
+
+// Name implements Objective.
+func (o AtK) Name() string { return fmt.Sprintf("%s@%g", o.Metric.MetricName(), o.K) }
+
+// Eval implements Objective.
+func (o AtK) Eval(d *dataset.Dataset, sampleIdx []int, eff []float64) ([]float64, error) {
+	if err := checkOutcomes(d, o.Metric); err != nil {
+		return nil, err
+	}
+	sel, err := topAbs(sampleIdx, eff, o.K)
+	if err != nil {
+		return nil, err
+	}
+	return o.Metric.EvalPrefix(d, sampleIdx, sel), nil
+}
+
+// LogDiscounted optimizes a prefix metric over the whole ranking with the
+// logarithmic discounting of Section IV-E: the objective becomes
+// (1/Z) Σ_i metric(prefix_i) / log2(i+1) over the evaluation fractions in
+// Points, weighting small selections (early ranks) more. It is the mode
+// for applications where the selection size is unknown at
+// bonus-assignment time, such as school matching waitlists.
+type LogDiscounted struct {
+	Points []float64
+	Metric PrefixMetric
+}
+
+// LogDiscountedDisparity returns the log-discounted disparity objective
+// evaluated at {step, 2*step, ..., maxK} (paper default step = 0.10).
+func LogDiscountedDisparity(step, maxK float64) LogDiscounted {
+	return LogDiscounted{Points: metrics.DefaultPoints(step, maxK), Metric: DisparityMetric{}}
+}
+
+// Name implements Objective.
+func (o LogDiscounted) Name() string {
+	if len(o.Points) == 0 {
+		return fmt.Sprintf("logdisc-%s(empty)", o.Metric.MetricName())
+	}
+	return fmt.Sprintf("logdisc-%s@%g..%g", o.Metric.MetricName(), o.Points[0], o.Points[len(o.Points)-1])
+}
+
+// Eval implements Objective.
+func (o LogDiscounted) Eval(d *dataset.Dataset, sampleIdx []int, eff []float64) ([]float64, error) {
+	if len(o.Points) == 0 {
+		return nil, fmt.Errorf("core: log-discounted objective with no evaluation points")
+	}
+	if err := checkOutcomes(d, o.Metric); err != nil {
+		return nil, err
+	}
+	order := rank.Order(eff)
+	abs := make([]int, len(order))
+	for r, p := range order {
+		abs[r] = sampleIdx[p]
+	}
+	ld := metrics.LogDiscount{Points: o.Points}
+	dims := d.NumFair()
+	acc := make([]float64, dims)
+	var z float64
+	for _, f := range o.Points {
+		cnt, err := rank.SelectCount(len(abs), f)
+		if err != nil {
+			return nil, err
+		}
+		w := ld.Weight(f)
+		z += w
+		v := o.Metric.EvalPrefix(d, abs, abs[:cnt])
+		for j := range acc {
+			acc[j] += w * v[j]
+		}
+	}
+	for j := range acc {
+		acc[j] /= z
+	}
+	return acc, nil
+}
+
+// topAbs selects the top fraction k of the sample by effective score and
+// returns absolute object indices.
+func topAbs(sampleIdx []int, eff []float64, k float64) ([]int, error) {
+	cnt, err := rank.SelectCount(len(sampleIdx), k)
+	if err != nil {
+		return nil, err
+	}
+	pos := rank.TopKHeap(eff, cnt)
+	abs := make([]int, len(pos))
+	for r, p := range pos {
+		abs[r] = sampleIdx[p]
+	}
+	return abs, nil
+}

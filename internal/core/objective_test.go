@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fairrank/internal/dataset"
+	"fairrank/internal/metrics"
+)
+
+func objDataset(t testing.TB, fair []float64, outcomes []bool) *dataset.Dataset {
+	t.Helper()
+	score := make([]float64, len(fair))
+	d, err := dataset.New([]string{"s"}, []string{"f"}, [][]float64{score}, [][]float64{fair}, outcomes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestAtKDisparityEval(t *testing.T) {
+	// Sample of 10: 40% protected. Effective scores place two protected
+	// objects in the top-5 selection -> selection 40% protected -> parity.
+	fair := []float64{1, 1, 1, 1, 0, 0, 0, 0, 0, 0}
+	d := objDataset(t, fair, nil)
+	sample := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	eff := []float64{9, 8, 1, 1, 7, 6, 5, 0, 0, 0}
+	got, err := DisparityObjective(0.5).Eval(d, sample, eff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]) > 1e-12 {
+		t.Errorf("disparity = %v, want 0", got[0])
+	}
+	// Push all protected out of the selection: -0.4.
+	eff = []float64{0, 0, 0, 0, 9, 8, 7, 6, 5, 0}
+	got, err = DisparityObjective(0.5).Eval(d, sample, eff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-(-0.4)) > 1e-12 {
+		t.Errorf("disparity = %v, want -0.4", got[0])
+	}
+}
+
+func TestAtKInvalidK(t *testing.T) {
+	d := objDataset(t, []float64{1, 0}, nil)
+	if _, err := DisparityObjective(0).Eval(d, []int{0, 1}, []float64{1, 2}); err == nil {
+		t.Error("k=0: expected error")
+	}
+	if _, err := DisparityObjective(1.5).Eval(d, []int{0, 1}, []float64{1, 2}); err == nil {
+		t.Error("k>1: expected error")
+	}
+}
+
+func TestObjectiveNames(t *testing.T) {
+	checks := map[string]Objective{
+		"disparity@0.05":        DisparityObjective(0.05),
+		"disparate-impact@0.1":  DisparateImpactObjective(0.1),
+		"fpr-diff@0.2":          FPRObjective(0.2),
+		"logdisc-disparity@0.1": LogDiscountedDisparity(0.1, 0.5),
+	}
+	for prefix, obj := range checks {
+		if !strings.HasPrefix(obj.Name(), prefix) {
+			t.Errorf("Name() = %q, want prefix %q", obj.Name(), prefix)
+		}
+	}
+	if name := (LogDiscounted{Metric: DisparityMetric{}}).Name(); !strings.Contains(name, "empty") {
+		t.Errorf("empty logdisc name = %q", name)
+	}
+}
+
+func TestFPRObjectiveRequiresOutcomes(t *testing.T) {
+	d := objDataset(t, []float64{1, 0}, nil)
+	if _, err := FPRObjective(0.5).Eval(d, []int{0, 1}, []float64{1, 2}); err == nil {
+		t.Error("expected error without outcomes")
+	}
+	withOut := objDataset(t, []float64{1, 0, 1, 0}, []bool{false, false, true, true})
+	if _, err := FPRObjective(0.5).Eval(withOut, []int{0, 1, 2, 3}, []float64{4, 3, 2, 1}); err != nil {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestLogDiscountedEvalMatchesManualAggregation(t *testing.T) {
+	fair := []float64{1, 0, 1, 0, 1, 0, 1, 0, 1, 0}
+	d := objDataset(t, fair, nil)
+	sample := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	eff := []float64{10, 9, 8, 7, 6, 5, 4, 3, 2, 1}
+	obj := LogDiscounted{Points: []float64{0.2, 0.4}, Metric: DisparityMetric{}}
+	got, err := obj.Eval(d, sample, eff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Manual: order is 0..9. Prefix 20% = {0,1}: centroid 0.5, pop 0.5 -> 0.
+	// Prefix 40% = {0,1,2,3}: centroid 0.5 -> 0. Aggregate 0.
+	if math.Abs(got[0]) > 1e-12 {
+		t.Errorf("aggregate = %v, want 0", got[0])
+	}
+
+	// Skewed scores: protected (even indices) first.
+	eff = []float64{10, 1, 9, 1, 8, 1, 7, 1, 6, 1}
+	got, err = obj.Eval(d, sample, eff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := metrics.LogDiscount{Points: []float64{0.2, 0.4}}
+	w1, w2 := ld.Weight(0.2), ld.Weight(0.4)
+	want := (w1*0.5 + w2*0.5) / (w1 + w2) // both prefixes fully protected: +0.5
+	if math.Abs(got[0]-want) > 1e-12 {
+		t.Errorf("aggregate = %v, want %v", got[0], want)
+	}
+}
+
+func TestLogDiscountedNoPoints(t *testing.T) {
+	d := objDataset(t, []float64{1, 0}, nil)
+	obj := LogDiscounted{Metric: DisparityMetric{}}
+	if _, err := obj.Eval(d, []int{0, 1}, []float64{1, 2}); err == nil {
+		t.Error("expected error with no points")
+	}
+}
+
+func TestMetricNames(t *testing.T) {
+	if (DisparityMetric{}).MetricName() != "disparity" ||
+		(DisparateImpactMetric{}).MetricName() != "disparate-impact" ||
+		(FPRMetric{}).MetricName() != "fpr-diff" {
+		t.Error("unexpected metric names")
+	}
+}

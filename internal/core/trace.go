@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math"
+)
+
+// Recorder collects descent traces for convergence diagnostics. Attach its
+// Observe method as Options.Trace; after the run, the recorded series show
+// how the objective norm and the bonus vector evolve across the ladder
+// stages and the refinement pass — the picture behind the paper's choice
+// of "3 sets of DCA with 100 rounds for each learning rate".
+type Recorder struct {
+	Steps []TraceStep
+}
+
+// Observe implements the Options.Trace callback.
+func (r *Recorder) Observe(s TraceStep) {
+	r.Steps = append(r.Steps, s)
+}
+
+// ObjectiveNorms returns the L2 norm of the objective vector at every
+// recorded step.
+func (r *Recorder) ObjectiveNorms() []float64 {
+	out := make([]float64, len(r.Steps))
+	for i, s := range r.Steps {
+		var sum float64
+		for _, v := range s.Objective {
+			sum += v * v
+		}
+		out[i] = math.Sqrt(sum)
+	}
+	return out
+}
+
+// BonusTrajectory returns the recorded bonus values of one dimension.
+func (r *Recorder) BonusTrajectory(dim int) []float64 {
+	out := make([]float64, len(r.Steps))
+	for i, s := range r.Steps {
+		out[i] = s.Bonus[dim]
+	}
+	return out
+}
+
+// StageBoundaries returns the step indices at which the stage label
+// changes (e.g. core -> refine), for plotting stage separators.
+func (r *Recorder) StageBoundaries() []int {
+	var out []int
+	for i := 1; i < len(r.Steps); i++ {
+		if r.Steps[i].Stage != r.Steps[i-1].Stage || r.Steps[i].LR != r.Steps[i-1].LR {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// MeanNormOver returns the mean objective norm over the trailing `window`
+// steps (all steps when window <= 0 or larger than the trace) — a simple
+// convergence indicator robust to per-sample noise.
+func (r *Recorder) MeanNormOver(window int) float64 {
+	norms := r.ObjectiveNorms()
+	if len(norms) == 0 {
+		return 0
+	}
+	if window <= 0 || window > len(norms) {
+		window = len(norms)
+	}
+	var sum float64
+	for _, v := range norms[len(norms)-window:] {
+		sum += v
+	}
+	return sum / float64(window)
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"fairrank/internal/rank"
+)
+
+func TestRecorderDiagnostics(t *testing.T) {
+	d := tinyDataset(t, 1500, 41)
+	rec := &Recorder{}
+	opts := DefaultOptions()
+	opts.Trace = rec.Observe
+	if _, err := Run(d, rank.WeightedSum{Weights: []float64{1}}, DisparityObjective(0.1), opts); err != nil {
+		t.Fatal(err)
+	}
+	total := opts.Ladder.TotalSteps() + opts.RefineSteps
+	if len(rec.Steps) != total {
+		t.Fatalf("recorded %d steps, want %d", len(rec.Steps), total)
+	}
+	norms := rec.ObjectiveNorms()
+	if len(norms) != total {
+		t.Fatalf("norms length %d", len(norms))
+	}
+	for i, v := range norms {
+		if v < 0 || v > 1.5 {
+			t.Fatalf("norm[%d] = %v out of range", i, v)
+		}
+	}
+	traj := rec.BonusTrajectory(0)
+	if len(traj) != total {
+		t.Fatalf("trajectory length %d", len(traj))
+	}
+	// Stage boundaries: lr 1 -> 0.1 within core, then core -> refine.
+	bounds := rec.StageBoundaries()
+	if len(bounds) != 2 {
+		t.Fatalf("boundaries = %v, want 2 transitions", bounds)
+	}
+	if bounds[0] != 100 || bounds[1] != 200 {
+		t.Errorf("boundaries = %v, want [100 200]", bounds)
+	}
+	// The trailing mean should be no worse than the opening mean: the
+	// descent makes progress from the random initialization.
+	head := (&Recorder{Steps: rec.Steps[:20]}).MeanNormOver(0)
+	tail := rec.MeanNormOver(50)
+	if tail > head {
+		t.Errorf("trailing mean norm %v exceeds opening %v", tail, head)
+	}
+	// Window larger than the trace falls back to everything.
+	if rec.MeanNormOver(10*total) != rec.MeanNormOver(0) {
+		t.Error("oversized window should equal full mean")
+	}
+	if (&Recorder{}).MeanNormOver(5) != 0 {
+		t.Error("empty recorder mean should be 0")
+	}
+}

@@ -1,0 +1,140 @@
+// Package csvio serializes datasets to and from CSV so that the CLI tools
+// (cmd/datagen, cmd/dca) can interoperate with external pipelines.
+//
+// The column schema is self-describing: score attributes are prefixed
+// "score:", fairness attributes "fair:", and the optional ground-truth
+// outcome column is named "outcome" with values 0/1.
+package csvio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"fairrank/internal/dataset"
+)
+
+const (
+	scorePrefix   = "score:"
+	fairPrefix    = "fair:"
+	outcomeColumn = "outcome"
+)
+
+// Write serializes d as CSV.
+func Write(w io.Writer, d *dataset.Dataset) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, d.NumScore()+d.NumFair()+1)
+	for _, n := range d.ScoreNames() {
+		header = append(header, scorePrefix+n)
+	}
+	for _, n := range d.FairNames() {
+		header = append(header, fairPrefix+n)
+	}
+	if d.HasOutcomes() {
+		header = append(header, outcomeColumn)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for i := 0; i < d.N(); i++ {
+		c := 0
+		for j := 0; j < d.NumScore(); j++ {
+			row[c] = strconv.FormatFloat(d.Score(i, j), 'g', -1, 64)
+			c++
+		}
+		for j := 0; j < d.NumFair(); j++ {
+			row[c] = strconv.FormatFloat(d.Fair(i, j), 'g', -1, 64)
+			c++
+		}
+		if d.HasOutcomes() {
+			if d.Outcome(i) {
+				row[c] = "1"
+			} else {
+				row[c] = "0"
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Read parses a CSV produced by Write (or any CSV following the same
+// header convention) into a dataset.
+func Read(r io.Reader) (*dataset.Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("csvio: reading header: %w", err)
+	}
+	var scoreCols, fairCols []int
+	var scoreNames, fairNames []string
+	outcomeCol := -1
+	for c, h := range header {
+		switch {
+		case strings.HasPrefix(h, scorePrefix):
+			scoreCols = append(scoreCols, c)
+			scoreNames = append(scoreNames, strings.TrimPrefix(h, scorePrefix))
+		case strings.HasPrefix(h, fairPrefix):
+			fairCols = append(fairCols, c)
+			fairNames = append(fairNames, strings.TrimPrefix(h, fairPrefix))
+		case h == outcomeColumn:
+			if outcomeCol != -1 {
+				return nil, fmt.Errorf("csvio: duplicate outcome column")
+			}
+			outcomeCol = c
+		default:
+			return nil, fmt.Errorf("csvio: column %q lacks a score:/fair:/outcome prefix", h)
+		}
+	}
+	if len(scoreCols) == 0 && len(fairCols) == 0 {
+		return nil, fmt.Errorf("csvio: no recognized columns in header")
+	}
+	b := dataset.NewBuilder(scoreNames, fairNames)
+	scoreRow := make([]float64, len(scoreCols))
+	fairRow := make([]float64, len(fairCols))
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("csvio: reading line %d: %w", line+1, err)
+		}
+		line++
+		for j, c := range scoreCols {
+			v, err := strconv.ParseFloat(rec[c], 64)
+			if err != nil {
+				return nil, fmt.Errorf("csvio: line %d column %q: %w", line, header[c], err)
+			}
+			scoreRow[j] = v
+		}
+		for j, c := range fairCols {
+			v, err := strconv.ParseFloat(rec[c], 64)
+			if err != nil {
+				return nil, fmt.Errorf("csvio: line %d column %q: %w", line, header[c], err)
+			}
+			fairRow[j] = v
+		}
+		if outcomeCol >= 0 {
+			switch rec[outcomeCol] {
+			case "1", "true":
+				b.AddWithOutcome(scoreRow, fairRow, true)
+			case "0", "false":
+				b.AddWithOutcome(scoreRow, fairRow, false)
+			default:
+				return nil, fmt.Errorf("csvio: line %d: outcome %q not 0/1", line, rec[outcomeCol])
+			}
+		} else {
+			b.Add(scoreRow, fairRow)
+		}
+	}
+	return b.Build()
+}

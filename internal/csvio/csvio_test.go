@@ -1,0 +1,116 @@
+package csvio
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fairrank/internal/dataset"
+)
+
+func roundTrip(t *testing.T, d *dataset.Dataset) *dataset.Dataset {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestRoundTripWithoutOutcomes(t *testing.T) {
+	b := dataset.NewBuilder([]string{"gpa", "test"}, []string{"li", "eni"})
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		li := float64(rng.Intn(2))
+		b.Add([]float64{rng.Float64() * 100, rng.Float64() * 100}, []float64{li, rng.Float64()})
+	}
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := roundTrip(t, d)
+	if got.N() != d.N() || got.NumScore() != 2 || got.NumFair() != 2 {
+		t.Fatalf("shape mismatch: %d/%d/%d", got.N(), got.NumScore(), got.NumFair())
+	}
+	if got.HasOutcomes() {
+		t.Error("outcomes appeared from nowhere")
+	}
+	for i := 0; i < d.N(); i++ {
+		for j := 0; j < 2; j++ {
+			if got.Score(i, j) != d.Score(i, j) {
+				t.Fatalf("score (%d,%d): %v != %v", i, j, got.Score(i, j), d.Score(i, j))
+			}
+			if got.Fair(i, j) != d.Fair(i, j) {
+				t.Fatalf("fair (%d,%d): %v != %v", i, j, got.Fair(i, j), d.Fair(i, j))
+			}
+		}
+	}
+	if got.ScoreNames()[0] != "gpa" || got.FairNames()[1] != "eni" {
+		t.Errorf("names lost: %v %v", got.ScoreNames(), got.FairNames())
+	}
+}
+
+func TestRoundTripWithOutcomes(t *testing.T) {
+	b := dataset.NewBuilder([]string{"decile"}, []string{"race"})
+	b.AddWithOutcome([]float64{7}, []float64{1}, true)
+	b.AddWithOutcome([]float64{3}, []float64{0}, false)
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := roundTrip(t, d)
+	if !got.HasOutcomes() || !got.Outcome(0) || got.Outcome(1) {
+		t.Error("outcomes not preserved")
+	}
+}
+
+func TestReadRejectsMalformedInputs(t *testing.T) {
+	cases := []struct {
+		name string
+		csv  string
+	}{
+		{"unknown column", "score:a,banana\n1,2\n"},
+		{"bad float", "score:a,fair:b\nxyz,0\n"},
+		{"fair out of range", "score:a,fair:b\n1,2\n"},
+		{"bad outcome", "score:a,fair:b,outcome\n1,0,maybe\n"},
+		{"duplicate outcome", "score:a,outcome,outcome\n1,0,1\n"},
+		{"no columns", "\n"},
+		{"empty", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(tc.csv)); err == nil {
+				t.Errorf("expected error for %q", tc.csv)
+			}
+		})
+	}
+}
+
+func TestReadHeaderOnly(t *testing.T) {
+	d, err := Read(strings.NewReader("score:a,fair:b\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 0 {
+		t.Errorf("N = %d, want 0", d.N())
+	}
+}
+
+func TestWriteEmptyDataset(t *testing.T) {
+	d, err := dataset.New([]string{"s"}, []string{"f"}, [][]float64{{}}, [][]float64{{}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "score:s,fair:f" {
+		t.Errorf("header = %q", got)
+	}
+}

@@ -1,0 +1,50 @@
+package csvio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks that arbitrary CSV input never panics the reader and
+// that everything it accepts survives a write/read round trip.
+func FuzzRead(f *testing.F) {
+	f.Add("score:a,fair:b\n1,0\n2,1\n")
+	f.Add("score:a,fair:b,outcome\n1,0,1\n")
+	f.Add("fair:x\n0.5\n")
+	f.Add("score:a\n-3.25\n")
+	f.Add("score:a,fair:b\n1\n")       // short record
+	f.Add("score:a,banana\n1,2\n")     // unknown column
+	f.Add("score:a,fair:b\nNaN,0.5\n") // non-finite score
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := Read(strings.NewReader(input))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, d); err != nil {
+			t.Fatalf("accepted dataset failed to serialize: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v", err)
+		}
+		if back.N() != d.N() || back.NumScore() != d.NumScore() || back.NumFair() != d.NumFair() {
+			t.Fatalf("round trip changed shape: (%d,%d,%d) -> (%d,%d,%d)",
+				d.N(), d.NumScore(), d.NumFair(), back.N(), back.NumScore(), back.NumFair())
+		}
+		for i := 0; i < d.N(); i++ {
+			for j := 0; j < d.NumScore(); j++ {
+				if back.Score(i, j) != d.Score(i, j) {
+					t.Fatalf("round trip changed score (%d,%d)", i, j)
+				}
+			}
+			for j := 0; j < d.NumFair(); j++ {
+				if back.Fair(i, j) != d.Fair(i, j) {
+					t.Fatalf("round trip changed fairness (%d,%d)", i, j)
+				}
+			}
+		}
+	})
+}

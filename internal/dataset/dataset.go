@@ -1,0 +1,363 @@
+// Package dataset provides the columnar object model shared by every other
+// package in the repository.
+//
+// A Dataset holds a fixed population of objects (students, defendants, ...).
+// Each object has a row of score attributes (the inputs of the ranking
+// function, e.g. GPA and test scores), a row of fairness attributes (the
+// dimensions on which disparity is measured, e.g. low-income status), and an
+// optional boolean ground-truth outcome (used by equalized-odds style
+// metrics such as false positive rates).
+//
+// Score attributes are unconstrained floats. Fairness attributes must lie in
+// [0, 1]: binary membership is encoded as {0, 1} and continuous attributes
+// (such as the Economic Need Index) are normalized to [0, 1], matching
+// Definition 3 of the paper where every disparity dimension is bounded in
+// [-1, 1].
+//
+// Storage is column major: centroid computations, which dominate the inner
+// loop of the Disparity Compensation Algorithm, scan one contiguous slice
+// per fairness dimension.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Dataset is an immutable columnar collection of objects. The zero value is
+// an empty dataset; use a Builder or New to construct a populated one.
+type Dataset struct {
+	n          int
+	scoreNames []string
+	fairNames  []string
+	score      [][]float64 // score[j][i]: score attribute j of object i
+	fair       [][]float64 // fair[j][i]: fairness attribute j of object i
+	outcome    []bool      // optional; nil when absent
+}
+
+// ErrNoOutcomes is returned by Outcome when the dataset was built without
+// ground-truth outcomes.
+var ErrNoOutcomes = errors.New("dataset: no outcomes recorded")
+
+// New assembles a dataset from column-major data. The score and fair slices
+// are retained (not copied); callers must not mutate them afterwards. The
+// outcome slice may be nil.
+func New(scoreNames, fairNames []string, score, fair [][]float64, outcome []bool) (*Dataset, error) {
+	if len(score) != len(scoreNames) {
+		return nil, fmt.Errorf("dataset: %d score columns for %d names", len(score), len(scoreNames))
+	}
+	if len(fair) != len(fairNames) {
+		return nil, fmt.Errorf("dataset: %d fairness columns for %d names", len(fair), len(fairNames))
+	}
+	n := -1
+	for j, col := range score {
+		if n == -1 {
+			n = len(col)
+		}
+		if len(col) != n {
+			return nil, fmt.Errorf("dataset: score column %q has %d rows, want %d", scoreNames[j], len(col), n)
+		}
+	}
+	for j, col := range fair {
+		if n == -1 {
+			n = len(col)
+		}
+		if len(col) != n {
+			return nil, fmt.Errorf("dataset: fairness column %q has %d rows, want %d", fairNames[j], len(col), n)
+		}
+		for i, v := range col {
+			if math.IsNaN(v) || v < 0 || v > 1 {
+				return nil, fmt.Errorf("dataset: fairness column %q row %d: value %v outside [0,1]", fairNames[j], i, v)
+			}
+		}
+	}
+	if n == -1 {
+		n = 0
+	}
+	for _, col := range score {
+		for i, v := range col {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("dataset: score row %d: non-finite value %v", i, v)
+			}
+		}
+	}
+	if outcome != nil && len(outcome) != n {
+		return nil, fmt.Errorf("dataset: %d outcomes for %d objects", len(outcome), n)
+	}
+	return &Dataset{
+		n:          n,
+		scoreNames: append([]string(nil), scoreNames...),
+		fairNames:  append([]string(nil), fairNames...),
+		score:      score,
+		fair:       fair,
+		outcome:    outcome,
+	}, nil
+}
+
+// N reports the number of objects.
+func (d *Dataset) N() int { return d.n }
+
+// NumScore reports the number of score attributes.
+func (d *Dataset) NumScore() int { return len(d.scoreNames) }
+
+// NumFair reports the number of fairness attributes.
+func (d *Dataset) NumFair() int { return len(d.fairNames) }
+
+// ScoreNames returns the score attribute names. The returned slice must not
+// be modified.
+func (d *Dataset) ScoreNames() []string { return d.scoreNames }
+
+// FairNames returns the fairness attribute names. The returned slice must
+// not be modified.
+func (d *Dataset) FairNames() []string { return d.fairNames }
+
+// HasOutcomes reports whether ground-truth outcomes were recorded.
+func (d *Dataset) HasOutcomes() bool { return d.outcome != nil }
+
+// ScoreColumn returns score attribute column j. The returned slice must not
+// be modified.
+func (d *Dataset) ScoreColumn(j int) []float64 { return d.score[j] }
+
+// FairColumn returns fairness attribute column j. The returned slice must
+// not be modified.
+func (d *Dataset) FairColumn(j int) []float64 { return d.fair[j] }
+
+// Score returns score attribute j of object i.
+func (d *Dataset) Score(i, j int) float64 { return d.score[j][i] }
+
+// Fair returns fairness attribute j of object i.
+func (d *Dataset) Fair(i, j int) float64 { return d.fair[j][i] }
+
+// Outcome returns the ground-truth outcome of object i. It panics if the
+// dataset has no outcomes; check HasOutcomes first.
+func (d *Dataset) Outcome(i int) bool {
+	if d.outcome == nil {
+		panic(ErrNoOutcomes)
+	}
+	return d.outcome[i]
+}
+
+// FairRow copies the fairness attribute vector of object i into dst, which
+// must have length NumFair, and returns dst.
+func (d *Dataset) FairRow(i int, dst []float64) []float64 {
+	for j := range d.fair {
+		dst[j] = d.fair[j][i]
+	}
+	return dst
+}
+
+// FairDot returns the dot product of object i's fairness attribute vector
+// with b. This is the bonus-point inner product A_f · B of Definition 2. b
+// must have length NumFair.
+func (d *Dataset) FairDot(i int, b []float64) float64 {
+	var s float64
+	for j := range d.fair {
+		s += d.fair[j][i] * b[j]
+	}
+	return s
+}
+
+// FairCentroid returns the centroid of the fairness attribute vectors over
+// the whole population (the D_O of Definition 3).
+func (d *Dataset) FairCentroid() []float64 {
+	c := make([]float64, len(d.fair))
+	if d.n == 0 {
+		return c
+	}
+	for j, col := range d.fair {
+		var s float64
+		for _, v := range col {
+			s += v
+		}
+		c[j] = s / float64(d.n)
+	}
+	return c
+}
+
+// FairCentroidOf returns the centroid of the fairness attribute vectors over
+// the given object indices (the D_k of Definition 3 when idx is a selected
+// set). It returns the zero vector when idx is empty.
+func (d *Dataset) FairCentroidOf(idx []int) []float64 {
+	c := make([]float64, len(d.fair))
+	if len(idx) == 0 {
+		return c
+	}
+	for j, col := range d.fair {
+		var s float64
+		for _, i := range idx {
+			s += col[i]
+		}
+		c[j] = s / float64(len(idx))
+	}
+	return c
+}
+
+// Subset returns a new dataset containing the objects at the given indices,
+// in order. Columns are copied, so the subset is independent of the parent.
+func (d *Dataset) Subset(idx []int) *Dataset {
+	score := make([][]float64, len(d.score))
+	for j, col := range d.score {
+		sub := make([]float64, len(idx))
+		for r, i := range idx {
+			sub[r] = col[i]
+		}
+		score[j] = sub
+	}
+	fair := make([][]float64, len(d.fair))
+	for j, col := range d.fair {
+		sub := make([]float64, len(idx))
+		for r, i := range idx {
+			sub[r] = col[i]
+		}
+		fair[j] = sub
+	}
+	var outcome []bool
+	if d.outcome != nil {
+		outcome = make([]bool, len(idx))
+		for r, i := range idx {
+			outcome[r] = d.outcome[i]
+		}
+	}
+	sub, err := New(d.scoreNames, d.fairNames, score, fair, outcome)
+	if err != nil {
+		// The parent was validated, so a subset cannot fail validation.
+		panic(err)
+	}
+	return sub
+}
+
+// FairIndex returns the column index of the named fairness attribute, or -1.
+func (d *Dataset) FairIndex(name string) int {
+	for j, n := range d.fairNames {
+		if n == name {
+			return j
+		}
+	}
+	return -1
+}
+
+// ScoreIndex returns the column index of the named score attribute, or -1.
+func (d *Dataset) ScoreIndex(name string) int {
+	for j, n := range d.scoreNames {
+		if n == name {
+			return j
+		}
+	}
+	return -1
+}
+
+// GroupSize reports how many objects have fairness attribute j strictly
+// above 0.5, i.e. the membership count for a binary attribute.
+func (d *Dataset) GroupSize(j int) int {
+	var c int
+	for _, v := range d.fair[j] {
+		if v > 0.5 {
+			c++
+		}
+	}
+	return c
+}
+
+// WithFairColumns returns a view of the dataset restricted to the given
+// fairness attribute columns (in the given order). Score columns and
+// outcomes are shared with the parent; fairness columns are shared slices,
+// so the view is cheap. The paper's Section VI-C4/C5 experiments use this
+// to drop the continuous ENI attribute, which exposure and disparate
+// impact cannot handle.
+func (d *Dataset) WithFairColumns(cols []int) *Dataset {
+	names := make([]string, len(cols))
+	fair := make([][]float64, len(cols))
+	for r, c := range cols {
+		names[r] = d.fairNames[c]
+		fair[r] = d.fair[c]
+	}
+	return &Dataset{
+		n:          d.n,
+		scoreNames: d.scoreNames,
+		fairNames:  names,
+		score:      d.score,
+		fair:       fair,
+		outcome:    d.outcome,
+	}
+}
+
+// Builder accumulates objects row by row and produces a Dataset.
+type Builder struct {
+	scoreNames []string
+	fairNames  []string
+	score      [][]float64
+	fair       [][]float64
+	outcome    []bool
+	hasOutcome bool
+	err        error
+}
+
+// NewBuilder returns a Builder for datasets with the given attribute names.
+func NewBuilder(scoreNames, fairNames []string) *Builder {
+	b := &Builder{
+		scoreNames: append([]string(nil), scoreNames...),
+		fairNames:  append([]string(nil), fairNames...),
+		score:      make([][]float64, len(scoreNames)),
+		fair:       make([][]float64, len(fairNames)),
+	}
+	return b
+}
+
+// Add appends an object without an outcome.
+func (b *Builder) Add(score, fair []float64) {
+	b.add(score, fair, false, false)
+}
+
+// AddWithOutcome appends an object with a ground-truth outcome. All objects
+// in a dataset must be added consistently: either all with outcomes or none.
+func (b *Builder) AddWithOutcome(score, fair []float64, outcome bool) {
+	b.add(score, fair, outcome, true)
+}
+
+func (b *Builder) add(score, fair []float64, outcome, withOutcome bool) {
+	if b.err != nil {
+		return
+	}
+	if len(score) != len(b.scoreNames) {
+		b.err = fmt.Errorf("dataset: Add with %d score values, want %d", len(score), len(b.scoreNames))
+		return
+	}
+	if len(fair) != len(b.fairNames) {
+		b.err = fmt.Errorf("dataset: Add with %d fairness values, want %d", len(fair), len(b.fairNames))
+		return
+	}
+	n := 0
+	if len(b.score) > 0 {
+		n = len(b.score[0])
+	} else if len(b.fair) > 0 {
+		n = len(b.fair[0])
+	}
+	if n == 0 {
+		b.hasOutcome = withOutcome
+	} else if b.hasOutcome != withOutcome {
+		b.err = errors.New("dataset: mixed Add and AddWithOutcome calls")
+		return
+	}
+	for j, v := range score {
+		b.score[j] = append(b.score[j], v)
+	}
+	for j, v := range fair {
+		b.fair[j] = append(b.fair[j], v)
+	}
+	if withOutcome {
+		b.outcome = append(b.outcome, outcome)
+	}
+}
+
+// Build validates the accumulated rows and returns the dataset.
+func (b *Builder) Build() (*Dataset, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	var outcome []bool
+	if b.hasOutcome {
+		outcome = b.outcome
+	}
+	return New(b.scoreNames, b.fairNames, b.score, b.fair, outcome)
+}

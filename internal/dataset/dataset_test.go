@@ -1,0 +1,220 @@
+package dataset
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func build(t testing.TB) *Dataset {
+	t.Helper()
+	b := NewBuilder([]string{"gpa", "test"}, []string{"li", "eni"})
+	b.Add([]float64{80, 70}, []float64{1, 0.8})
+	b.Add([]float64{90, 95}, []float64{0, 0.2})
+	b.Add([]float64{60, 65}, []float64{1, 0.6})
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestBuilderBasics(t *testing.T) {
+	d := build(t)
+	if d.N() != 3 || d.NumScore() != 2 || d.NumFair() != 2 {
+		t.Fatalf("shape = (%d, %d, %d)", d.N(), d.NumScore(), d.NumFair())
+	}
+	if d.HasOutcomes() {
+		t.Error("unexpected outcomes")
+	}
+	if d.Score(1, 0) != 90 || d.Fair(2, 1) != 0.6 {
+		t.Error("wrong cell values")
+	}
+	if d.ScoreIndex("test") != 1 || d.ScoreIndex("nope") != -1 {
+		t.Error("ScoreIndex wrong")
+	}
+	if d.FairIndex("eni") != 1 || d.FairIndex("nope") != -1 {
+		t.Error("FairIndex wrong")
+	}
+}
+
+func TestBuilderOutcomes(t *testing.T) {
+	b := NewBuilder([]string{"s"}, []string{"f"})
+	b.AddWithOutcome([]float64{1}, []float64{0}, true)
+	b.AddWithOutcome([]float64{2}, []float64{1}, false)
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.HasOutcomes() || !d.Outcome(0) || d.Outcome(1) {
+		t.Error("outcomes not preserved")
+	}
+}
+
+func TestBuilderMixedOutcomeCallsFail(t *testing.T) {
+	b := NewBuilder([]string{"s"}, []string{"f"})
+	b.Add([]float64{1}, []float64{0})
+	b.AddWithOutcome([]float64{2}, []float64{1}, true)
+	if _, err := b.Build(); err == nil {
+		t.Error("mixed Add/AddWithOutcome should fail")
+	}
+}
+
+func TestBuilderArityErrors(t *testing.T) {
+	b := NewBuilder([]string{"s"}, []string{"f"})
+	b.Add([]float64{1, 2}, []float64{0})
+	if _, err := b.Build(); err == nil {
+		t.Error("wrong score arity should fail")
+	}
+	b2 := NewBuilder([]string{"s"}, []string{"f"})
+	b2.Add([]float64{1}, []float64{0, 1})
+	if _, err := b2.Build(); err == nil {
+		t.Error("wrong fairness arity should fail")
+	}
+}
+
+func TestValidationRejectsBadValues(t *testing.T) {
+	if _, err := New([]string{"s"}, []string{"f"}, [][]float64{{1}}, [][]float64{{1.5}}, nil); err == nil {
+		t.Error("fairness value > 1 should fail")
+	}
+	if _, err := New([]string{"s"}, []string{"f"}, [][]float64{{1}}, [][]float64{{-0.1}}, nil); err == nil {
+		t.Error("fairness value < 0 should fail")
+	}
+	if _, err := New([]string{"s"}, []string{"f"}, [][]float64{{math.NaN()}}, [][]float64{{0}}, nil); err == nil {
+		t.Error("NaN score should fail")
+	}
+	if _, err := New([]string{"s"}, []string{"f"}, [][]float64{{math.Inf(1)}}, [][]float64{{0}}, nil); err == nil {
+		t.Error("Inf score should fail")
+	}
+	if _, err := New([]string{"s"}, []string{"f"}, [][]float64{{1, 2}}, [][]float64{{0}}, nil); err == nil {
+		t.Error("ragged columns should fail")
+	}
+	if _, err := New([]string{"s"}, []string{"f"}, [][]float64{{1}}, [][]float64{{0}}, []bool{true, false}); err == nil {
+		t.Error("outcome length mismatch should fail")
+	}
+	if _, err := New([]string{"a", "b"}, nil, [][]float64{{1}}, nil, nil); err == nil {
+		t.Error("column/name count mismatch should fail")
+	}
+}
+
+func TestEmptyDataset(t *testing.T) {
+	d, err := New(nil, nil, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 0 {
+		t.Errorf("N = %d", d.N())
+	}
+	if c := d.FairCentroid(); len(c) != 0 {
+		t.Errorf("centroid = %v", c)
+	}
+}
+
+func TestFairCentroid(t *testing.T) {
+	d := build(t)
+	got := d.FairCentroid()
+	want := []float64{2.0 / 3, (0.8 + 0.2 + 0.6) / 3}
+	for j := range want {
+		if math.Abs(got[j]-want[j]) > 1e-12 {
+			t.Fatalf("centroid = %v, want %v", got, want)
+		}
+	}
+	sel := d.FairCentroidOf([]int{1})
+	if sel[0] != 0 || sel[1] != 0.2 {
+		t.Errorf("centroid of {1} = %v", sel)
+	}
+	if z := d.FairCentroidOf(nil); z[0] != 0 || z[1] != 0 {
+		t.Errorf("centroid of empty = %v", z)
+	}
+}
+
+func TestFairDotAndRow(t *testing.T) {
+	d := build(t)
+	if got := d.FairDot(0, []float64{2, 10}); got != 2+8 {
+		t.Errorf("FairDot = %v, want 10", got)
+	}
+	row := d.FairRow(2, make([]float64, 2))
+	if row[0] != 1 || row[1] != 0.6 {
+		t.Errorf("FairRow = %v", row)
+	}
+}
+
+func TestSubset(t *testing.T) {
+	d := build(t)
+	s := d.Subset([]int{2, 0})
+	if s.N() != 2 {
+		t.Fatalf("subset N = %d", s.N())
+	}
+	if s.Score(0, 0) != 60 || s.Score(1, 0) != 80 {
+		t.Error("subset rows in wrong order")
+	}
+	if s.Fair(0, 1) != 0.6 {
+		t.Error("subset fairness wrong")
+	}
+}
+
+func TestGroupSize(t *testing.T) {
+	d := build(t)
+	if got := d.GroupSize(0); got != 2 {
+		t.Errorf("GroupSize(li) = %d, want 2", got)
+	}
+}
+
+func TestWithFairColumnsView(t *testing.T) {
+	d := build(t)
+	v := d.WithFairColumns([]int{1})
+	if v.NumFair() != 1 || v.FairNames()[0] != "eni" {
+		t.Fatalf("view names = %v", v.FairNames())
+	}
+	if v.N() != d.N() || v.NumScore() != d.NumScore() {
+		t.Error("view must share shape with parent")
+	}
+	if v.Fair(0, 0) != d.Fair(0, 1) {
+		t.Error("view column mismatch")
+	}
+	// Reordering works too.
+	v2 := d.WithFairColumns([]int{1, 0})
+	if v2.FairNames()[0] != "eni" || v2.FairNames()[1] != "li" {
+		t.Errorf("reordered view names = %v", v2.FairNames())
+	}
+}
+
+func TestOutcomePanicsWithoutOutcomes(t *testing.T) {
+	d := build(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	d.Outcome(0)
+}
+
+// Property: the centroid of any index multiset stays inside [0,1] per
+// dimension, and the centroid over all indices equals FairCentroid.
+func TestCentroidProperties(t *testing.T) {
+	d := build(t)
+	all := []int{0, 1, 2}
+	if !reflect.DeepEqual(d.FairCentroidOf(all), d.FairCentroid()) {
+		t.Error("FairCentroidOf(all) != FairCentroid()")
+	}
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		idx := make([]int, len(raw))
+		for i, r := range raw {
+			idx[i] = int(r) % 3
+		}
+		c := d.FairCentroidOf(idx)
+		for _, v := range c {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

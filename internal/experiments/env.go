@@ -1,0 +1,394 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Sections V and VI). Each experiment is a named Runner in the
+// Registry; cmd/experiments prints the resulting tables/series and
+// bench_test.go at the repository root wraps each runner in a testing.B
+// benchmark.
+//
+// All experiments are deterministic: datasets and DCA runs are seeded, and
+// the Env memoizes generated cohorts and trained bonus vectors so that
+// experiments sharing inputs (e.g. the Figure 2/3 sweeps reusing the
+// Table I vector) agree exactly.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"fairrank/internal/core"
+	"fairrank/internal/dataset"
+	"fairrank/internal/rank"
+	"fairrank/internal/report"
+	"fairrank/internal/synth"
+)
+
+// Config selects dataset sizes and sweep densities.
+type Config struct {
+	// SchoolN is the cohort size (paper: ~80,000 per school year).
+	SchoolN int
+	// TrainSeed and TestSeed generate the two cohorts (two school years).
+	TrainSeed, TestSeed int64
+	// DistrictSeed generates the 2,500-student district of Table II.
+	DistrictSeed int64
+	// Compas configures the recidivism dataset.
+	Compas synth.CompasConfig
+	// Seed drives DCA sampling.
+	Seed int64
+	// KSweep are the selection fractions used by the across-k figures.
+	KSweep []float64
+	// WSweep are the bonus-proportion values of Figures 2, 3 and 7.
+	WSweep []float64
+	// CapSweep are the maximum-bonus values of Figure 5.
+	CapSweep []float64
+}
+
+// DefaultConfig mirrors the paper's experimental setting.
+func DefaultConfig() Config {
+	return Config{
+		SchoolN:      80000,
+		TrainSeed:    2017,
+		TestSeed:     2018,
+		DistrictSeed: 7,
+		Compas:       synth.DefaultCompasConfig(),
+		Seed:         1,
+		KSweep:       sweep(0.05, 0.50, 0.05),
+		WSweep:       sweep(0.10, 1.00, 0.10),
+		CapSweep:     []float64{0, 2.5, 5, 7.5, 10, 12.5, 15, 17.5, 20},
+	}
+}
+
+// QuickConfig shrinks cohorts and sweeps for smoke tests and benchmarks.
+func QuickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.SchoolN = 20000
+	cfg.KSweep = []float64{0.05, 0.15, 0.30, 0.50}
+	cfg.WSweep = []float64{0.25, 0.50, 0.75, 1.00}
+	cfg.CapSweep = []float64{0, 5, 10, 15, 20}
+	return cfg
+}
+
+func sweep(lo, hi, step float64) []float64 {
+	var out []float64
+	for v := lo; v <= hi+1e-9; v += step {
+		out = append(out, math.Round(v*100)/100)
+	}
+	return out
+}
+
+// Renderable is anything an experiment can return for printing.
+type Renderable interface {
+	Render(w io.Writer) error
+}
+
+// Multi concatenates several renderables with blank-line separators.
+type Multi []Renderable
+
+// Render implements Renderable.
+func (m Multi) Render(w io.Writer) error {
+	for i, r := range m {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if err := r.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderTSV implements report.TSVRenderer by delegating to parts that
+// support it and falling back to Render for those that do not.
+func (m Multi) RenderTSV(w io.Writer) error {
+	for i, r := range m {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if tr, ok := r.(report.TSVRenderer); ok {
+			if err := tr.RenderTSV(w); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := r.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Env lazily builds and caches the datasets, evaluators and trained bonus
+// vectors shared across experiments. Safe for sequential use; the memo
+// maps are guarded for use from parallel benchmarks.
+type Env struct {
+	Cfg Config
+
+	mu        sync.Mutex
+	train     *dataset.Dataset
+	test      *dataset.Dataset
+	district  *dataset.Dataset
+	compas    *dataset.Dataset
+	trainEval *core.Evaluator
+	testEval  *core.Evaluator
+	compEval  *core.Evaluator
+
+	dcaAtK     map[float64]core.Result // refined DCA on train, disparity@k
+	coreAtK    map[float64]core.Result // core-only DCA on train, disparity@k
+	compasAtK  map[float64]core.Result
+	logDiscRes *core.Result // log-discounted disparity on train (step .1, max .5)
+}
+
+// NewEnv returns an empty environment; datasets are generated on first use.
+func NewEnv(cfg Config) *Env {
+	return &Env{
+		Cfg:       cfg,
+		dcaAtK:    make(map[float64]core.Result),
+		coreAtK:   make(map[float64]core.Result),
+		compasAtK: make(map[float64]core.Result),
+	}
+}
+
+// SchoolScorer is the paper's rubric f = 0.55*GPA + 0.45*TestScores.
+func (e *Env) SchoolScorer() rank.Scorer {
+	return rank.WeightedSum{Weights: synth.SchoolScoreWeights()}
+}
+
+// CompasScorer ranks by decile score with an infinitesimal tie-break.
+func (e *Env) CompasScorer() rank.Scorer {
+	return rank.WeightedSum{Weights: synth.CompasScoreWeights()}
+}
+
+// Train returns the training cohort (school year 2016-17 analogue).
+func (e *Env) Train() (*dataset.Dataset, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.train == nil {
+		cfg := synth.DefaultSchoolConfig()
+		cfg.N = e.Cfg.SchoolN
+		cfg.Seed = e.Cfg.TrainSeed
+		d, err := synth.GenerateSchool(cfg)
+		if err != nil {
+			return nil, err
+		}
+		e.train = d
+	}
+	return e.train, nil
+}
+
+// Test returns the held-out cohort (school year 2017-18 analogue).
+func (e *Env) Test() (*dataset.Dataset, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.test == nil {
+		cfg := synth.DefaultSchoolConfig()
+		cfg.N = e.Cfg.SchoolN
+		cfg.Seed = e.Cfg.TestSeed
+		d, err := synth.GenerateSchool(cfg)
+		if err != nil {
+			return nil, err
+		}
+		e.test = d
+	}
+	return e.test, nil
+}
+
+// District returns the 2,500-student single district of Table II.
+func (e *Env) District() (*dataset.Dataset, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.district == nil {
+		d, err := synth.GenerateSchool(synth.DistrictConfig(e.Cfg.DistrictSeed))
+		if err != nil {
+			return nil, err
+		}
+		e.district = d
+	}
+	return e.district, nil
+}
+
+// Compas returns the recidivism dataset.
+func (e *Env) Compas() (*dataset.Dataset, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.compas == nil {
+		d, err := synth.GenerateCompas(e.Cfg.Compas)
+		if err != nil {
+			return nil, err
+		}
+		e.compas = d
+	}
+	return e.compas, nil
+}
+
+// TrainEval returns the cached evaluator over the training cohort.
+func (e *Env) TrainEval() (*core.Evaluator, error) {
+	d, err := e.Train()
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.trainEval == nil {
+		e.trainEval = core.NewEvaluator(d, e.SchoolScorer(), rank.Beneficial)
+	}
+	return e.trainEval, nil
+}
+
+// TestEval returns the cached evaluator over the test cohort.
+func (e *Env) TestEval() (*core.Evaluator, error) {
+	d, err := e.Test()
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.testEval == nil {
+		e.testEval = core.NewEvaluator(d, e.SchoolScorer(), rank.Beneficial)
+	}
+	return e.testEval, nil
+}
+
+// CompasEval returns the cached evaluator over the COMPAS dataset
+// (adverse polarity: selection = flagged as high risk).
+func (e *Env) CompasEval() (*core.Evaluator, error) {
+	d, err := e.Compas()
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.compEval == nil {
+		e.compEval = core.NewEvaluator(d, e.CompasScorer(), rank.Adverse)
+	}
+	return e.compEval, nil
+}
+
+// SchoolOptions returns the paper's DCA settings for the school data, with
+// the sample size scaled for small selection fractions per the
+// max(1/k, 1/r) bound of Section IV-D (rarest school group r = 0.10).
+func (e *Env) SchoolOptions(k float64) core.Options {
+	opts := core.DefaultOptions()
+	opts.Seed = e.Cfg.Seed
+	opts.SampleSize = SampleSizeFor(k, 0.10)
+	return opts
+}
+
+// CompasOptions returns DCA settings for the COMPAS data: adverse
+// polarity, and a sample sized for the rarest race group (Native American,
+// ~0.5%), capped at the dataset size by core.Run.
+func (e *Env) CompasOptions(k float64) core.Options {
+	opts := core.DefaultOptions()
+	opts.Seed = e.Cfg.Seed
+	opts.Polarity = rank.Adverse
+	opts.SampleSize = SampleSizeFor(k, 0.005)
+	return opts
+}
+
+// SampleSizeFor applies the paper's sample-size reasoning (Section V-B):
+// 500 elements give 25 selected objects at k = 5% and 50 members of a
+// 10%-frequency rarest group, "enough to show most of the correlation
+// between attributes". The bound scales as max(1/k, 1/r) for smaller
+// selections or rarer groups, with 500 as the floor.
+func SampleSizeFor(k, rarest float64) int {
+	need := math.Max(25/k, 50/rarest)
+	if need < 500 {
+		return 500
+	}
+	return int(math.Ceil(need))
+}
+
+// DCAAtK trains (or returns the memoized) refined DCA bonus vector on the
+// training cohort for disparity@k.
+func (e *Env) DCAAtK(k float64) (core.Result, error) {
+	e.mu.Lock()
+	if res, ok := e.dcaAtK[k]; ok {
+		e.mu.Unlock()
+		return res, nil
+	}
+	e.mu.Unlock()
+	d, err := e.Train()
+	if err != nil {
+		return core.Result{}, err
+	}
+	res, err := core.Run(d, e.SchoolScorer(), core.DisparityObjective(k), e.SchoolOptions(k))
+	if err != nil {
+		return core.Result{}, err
+	}
+	e.mu.Lock()
+	e.dcaAtK[k] = res
+	e.mu.Unlock()
+	return res, nil
+}
+
+// CoreDCAAtK is DCAAtK without the refinement pass (Figure 8a).
+func (e *Env) CoreDCAAtK(k float64) (core.Result, error) {
+	e.mu.Lock()
+	if res, ok := e.coreAtK[k]; ok {
+		e.mu.Unlock()
+		return res, nil
+	}
+	e.mu.Unlock()
+	d, err := e.Train()
+	if err != nil {
+		return core.Result{}, err
+	}
+	res, err := core.CoreDCA(d, e.SchoolScorer(), core.DisparityObjective(k), e.SchoolOptions(k))
+	if err != nil {
+		return core.Result{}, err
+	}
+	e.mu.Lock()
+	e.coreAtK[k] = res
+	e.mu.Unlock()
+	return res, nil
+}
+
+// CompasDCAAtK trains (or returns the memoized) adverse DCA vector on the
+// COMPAS data for disparity@k.
+func (e *Env) CompasDCAAtK(k float64) (core.Result, error) {
+	e.mu.Lock()
+	if res, ok := e.compasAtK[k]; ok {
+		e.mu.Unlock()
+		return res, nil
+	}
+	e.mu.Unlock()
+	d, err := e.Compas()
+	if err != nil {
+		return core.Result{}, err
+	}
+	res, err := core.Run(d, e.CompasScorer(), core.DisparityObjective(k), e.CompasOptions(k))
+	if err != nil {
+		return core.Result{}, err
+	}
+	e.mu.Lock()
+	e.compasAtK[k] = res
+	e.mu.Unlock()
+	return res, nil
+}
+
+// LogDiscDCA trains (or returns the memoized) log-discounted disparity
+// vector on the training cohort (points 0.1..0.5, the Figure 4c setting).
+func (e *Env) LogDiscDCA() (core.Result, error) {
+	e.mu.Lock()
+	if e.logDiscRes != nil {
+		res := *e.logDiscRes
+		e.mu.Unlock()
+		return res, nil
+	}
+	e.mu.Unlock()
+	d, err := e.Train()
+	if err != nil {
+		return core.Result{}, err
+	}
+	res, err := core.Run(d, e.SchoolScorer(), core.LogDiscountedDisparity(0.1, 0.5), e.SchoolOptions(0.1))
+	if err != nil {
+		return core.Result{}, err
+	}
+	e.mu.Lock()
+	e.logDiscRes = &res
+	e.mu.Unlock()
+	return res, nil
+}

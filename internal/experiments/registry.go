@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner executes one experiment against an environment.
+type Runner func(*Env) (Renderable, error)
+
+// Entry describes a registered experiment.
+type Entry struct {
+	ID    string
+	Title string
+	Run   Runner
+}
+
+var registry = []Entry{
+	{"table1", "Table I: school disparity before/after Core DCA and DCA", Table1},
+	{"table2", "Table II: DCA vs Multinomial FA*IR on a single district", Table2},
+	{"fig1", "Figure 1: nDCG@k across k", Fig1},
+	{"fig2", "Figure 2: nDCG and disparity norm vs bonus proportion", Fig2},
+	{"fig3", "Figure 3: per-dimension disparity vs bonus proportion", Fig3},
+	{"fig4a", "Figure 4a: disparity across k, k known in advance", Fig4a},
+	{"fig4b", "Figure 4b: disparity across k, vector trained at k=5%", Fig4b},
+	{"fig4c", "Figure 4c: disparity across k, log-discounted training", Fig4c},
+	{"fig5", "Figure 5: log-discounted disparity vs maximum bonus cap", Fig5},
+	{"fig6", "Figure 6: single-quota baseline across k", Fig6},
+	{"fig7", "Figure 7: accuracy vs disparity, DCA and (Δ+2)", Fig7},
+	{"fig8a", "Figure 8a: Core DCA without refinement across k", Fig8a},
+	{"fig8b", "Figure 8b: DCA wall-clock time across k", Fig8b},
+	{"fig9", "Figure 9: disparity vs disparate-impact objectives", Fig9},
+	{"fig10a", "Figure 10a: COMPAS disparity across k, per-k bonus", Fig10a},
+	{"fig10b", "Figure 10b: COMPAS FPR differences across k", Fig10b},
+	{"fig10c", "Figure 10c: COMPAS disparity, one log-discounted vector", Fig10c},
+	{"exposure", "Section VI-C4: exposure/DDP before and after DCA", Exposure},
+	{"ablation-optim", "Ablation: DCA vs Nelder-Mead re-ranking cost", AblationOptimizer},
+	{"ablation-sample", "Ablation: sample size vs achieved disparity and cost", AblationSampleSize},
+	{"ablation-stability", "Ablation: bonus-vector stability across seeds", AblationStability},
+	{"ablation-estimator", "Ablation: Theorem 4.5 sample-disparity estimator check", AblationEstimator},
+	{"ablation-drift", "Ablation: policy choices over drifting school years", AblationDrift},
+	{"ablation-referee", "Ablation: external rND/rKL/rRD referees on the Table I vector", AblationReferee},
+	{"ablation-matching", "Ablation: policies inside deferred-acceptance matching", AblationMatching},
+	{"ablation-convergence", "Ablation: DCA convergence trace across stages", AblationConvergence},
+}
+
+// All returns the registered experiments in presentation order.
+func All() []Entry {
+	return append([]Entry(nil), registry...)
+}
+
+// IDs returns the sorted experiment identifiers.
+func IDs() []string {
+	ids := make([]string, len(registry))
+	for i, e := range registry {
+		ids[i] = e.ID
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Lookup finds an experiment by id.
+func Lookup(id string) (Entry, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Entry{}, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+}

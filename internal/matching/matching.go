@@ -1,0 +1,188 @@
+// Package matching implements the deferred acceptance (DA) school matching
+// substrate of the paper's motivating scenario (Section III-A): NYC
+// assigns students to high schools with a student-proposing DA algorithm
+// over the schools' admission rubrics. The package supports set-aside
+// seats (the quota mechanism DCA is compared against) and bonus-adjusted
+// rubrics (the DCA mechanism), and provides a stability checker used by
+// the property tests.
+//
+// Because DA decides how far down its list each school admits, the
+// admission cutoff k is unknown in advance — exactly the situation the
+// paper's logarithmically discounted DCA mode (Section IV-E) targets.
+package matching
+
+import (
+	"fmt"
+	"sort"
+)
+
+// School is one side of the match.
+type School struct {
+	// Capacity is the number of seats.
+	Capacity int
+	// Reserved is the number of seats set aside for disadvantaged
+	// students (0 disables). Reserved seats revert to open competition
+	// when unfilled (a soft quota).
+	Reserved int
+	// Scores is the school's rubric score for every student (higher is
+	// better); bonus-adjusted rubrics simply pass adjusted scores.
+	Scores []float64
+}
+
+// Match is the result of the deferred acceptance run.
+type Match struct {
+	// Assigned maps student -> school index, or -1 when unmatched.
+	Assigned []int
+	// Rounds is the number of proposal rounds executed.
+	Rounds int
+}
+
+// DeferredAcceptance runs student-proposing DA. prefs[i] is student i's
+// ordered preference list over school indices (most preferred first; may
+// be partial). disadvantaged flags the students eligible for reserved
+// seats; it may be nil when no school reserves seats.
+func DeferredAcceptance(prefs [][]int, schools []School, disadvantaged []bool) (Match, error) {
+	n := len(prefs)
+	for si, s := range schools {
+		if s.Capacity < 0 || s.Reserved < 0 || s.Reserved > s.Capacity {
+			return Match{}, fmt.Errorf("matching: school %d capacity %d reserved %d", si, s.Capacity, s.Reserved)
+		}
+		if len(s.Scores) != n {
+			return Match{}, fmt.Errorf("matching: school %d has %d scores for %d students", si, len(s.Scores), n)
+		}
+		if s.Reserved > 0 && disadvantaged == nil {
+			return Match{}, fmt.Errorf("matching: school %d reserves seats but no disadvantaged flags given", si)
+		}
+	}
+	if disadvantaged != nil && len(disadvantaged) != n {
+		return Match{}, fmt.Errorf("matching: %d disadvantaged flags for %d students", len(disadvantaged), n)
+	}
+	for i, p := range prefs {
+		for _, s := range p {
+			if s < 0 || s >= len(schools) {
+				return Match{}, fmt.Errorf("matching: student %d ranks unknown school %d", i, s)
+			}
+		}
+	}
+
+	next := make([]int, n)     // next preference index each student will propose to
+	assigned := make([]int, n) // current tentative school, -1 if none
+	for i := range assigned {
+		assigned[i] = -1
+	}
+	holds := make([][]int, len(schools)) // students tentatively held per school
+
+	free := make([]int, 0, n)
+	for i := range prefs {
+		free = append(free, i)
+	}
+	rounds := 0
+	for len(free) > 0 {
+		rounds++
+		// Batch proposals: every free student proposes to their next choice.
+		proposals := make(map[int][]int)
+		var exhausted []int
+		for _, i := range free {
+			if next[i] >= len(prefs[i]) {
+				exhausted = append(exhausted, i)
+				continue
+			}
+			s := prefs[i][next[i]]
+			next[i]++
+			proposals[s] = append(proposals[s], i)
+		}
+		_ = exhausted // students with exhausted lists stay unmatched
+		free = free[:0]
+		for s, newApplicants := range proposals {
+			pool := append(append([]int(nil), holds[s]...), newApplicants...)
+			kept := schools[s].choose(pool, disadvantaged)
+			keptSet := make(map[int]bool, len(kept))
+			for _, i := range kept {
+				keptSet[i] = true
+				assigned[i] = s
+			}
+			for _, i := range pool {
+				if !keptSet[i] {
+					assigned[i] = -1
+					free = append(free, i)
+				}
+			}
+			holds[s] = kept
+		}
+		if rounds > n*len(schools)+1 {
+			return Match{}, fmt.Errorf("matching: no convergence after %d rounds", rounds)
+		}
+	}
+	return Match{Assigned: assigned, Rounds: rounds}, nil
+}
+
+// choose is the school's choice function: from the applicant pool, fill
+// reserved seats with the highest-scoring disadvantaged applicants, then
+// fill the remaining capacity by score from everyone left; unfilled
+// reserved seats revert to open seats.
+func (s School) choose(pool []int, disadvantaged []bool) []int {
+	if len(pool) <= s.Capacity {
+		return append([]int(nil), pool...)
+	}
+	byScore := append([]int(nil), pool...)
+	sort.Slice(byScore, func(a, b int) bool {
+		if s.Scores[byScore[a]] != s.Scores[byScore[b]] {
+			return s.Scores[byScore[a]] > s.Scores[byScore[b]]
+		}
+		return byScore[a] < byScore[b]
+	})
+	kept := make([]int, 0, s.Capacity)
+	taken := make(map[int]bool, s.Capacity)
+	if s.Reserved > 0 {
+		cnt := 0
+		for _, i := range byScore {
+			if cnt >= s.Reserved {
+				break
+			}
+			if disadvantaged[i] {
+				kept = append(kept, i)
+				taken[i] = true
+				cnt++
+			}
+		}
+	}
+	for _, i := range byScore {
+		if len(kept) >= s.Capacity {
+			break
+		}
+		if !taken[i] {
+			kept = append(kept, i)
+			taken[i] = true
+		}
+	}
+	return kept
+}
+
+// BlockingPair reports a student-school pair that violates stability with
+// respect to the schools' choice functions: student i strictly prefers
+// school s to their assignment, and s would keep i if i were added to its
+// current hold set. It returns (-1, -1) when the match is stable.
+func BlockingPair(prefs [][]int, schools []School, disadvantaged []bool, m Match) (student, school int) {
+	holds := make([][]int, len(schools))
+	for i, s := range m.Assigned {
+		if s >= 0 {
+			holds[s] = append(holds[s], i)
+		}
+	}
+	for i, p := range prefs {
+		for _, s := range p {
+			if m.Assigned[i] == s {
+				break // i got this school or better
+			}
+			// Would s keep i?
+			pool := append(append([]int(nil), holds[s]...), i)
+			kept := schools[s].choose(pool, disadvantaged)
+			for _, k := range kept {
+				if k == i {
+					return i, s
+				}
+			}
+		}
+	}
+	return -1, -1
+}

@@ -1,0 +1,189 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// classic 3x3 instance with known student-optimal outcome.
+func TestDeferredAcceptanceTextbookInstance(t *testing.T) {
+	// Students 0,1,2; schools A=0, B=1, C=2, capacity 1 each.
+	// School scores: school s ranks students by Scores[s].
+	prefs := [][]int{
+		{0, 1, 2},
+		{0, 2, 1},
+		{1, 0, 2},
+	}
+	schools := []School{
+		{Capacity: 1, Scores: []float64{3, 2, 1}}, // A prefers s0 > s1 > s2
+		{Capacity: 1, Scores: []float64{1, 2, 3}}, // B prefers s2 > s1 > s0
+		{Capacity: 1, Scores: []float64{2, 3, 1}}, // C prefers s1 > s0 > s2
+	}
+	m, err := DeferredAcceptance(prefs, schools, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// s0 proposes A (held), s1 proposes A (rejected: s0 better), s2
+	// proposes B (held). s1 then proposes C (held). Stable.
+	want := []int{0, 2, 1}
+	for i, s := range want {
+		if m.Assigned[i] != s {
+			t.Fatalf("assignment = %v, want %v", m.Assigned, want)
+		}
+	}
+	if st, sc := BlockingPair(prefs, schools, nil, m); st != -1 {
+		t.Errorf("blocking pair (%d, %d)", st, sc)
+	}
+}
+
+func TestDeferredAcceptanceUnmatchedWhenListsExhausted(t *testing.T) {
+	prefs := [][]int{{0}, {0}}
+	schools := []School{{Capacity: 1, Scores: []float64{1, 2}}}
+	m, err := DeferredAcceptance(prefs, schools, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Assigned[1] != 0 || m.Assigned[0] != -1 {
+		t.Errorf("assignment = %v, want [-1 0]", m.Assigned)
+	}
+}
+
+func TestDeferredAcceptanceCapacity(t *testing.T) {
+	// One school, capacity 2, three students.
+	prefs := [][]int{{0}, {0}, {0}}
+	schools := []School{{Capacity: 2, Scores: []float64{1, 3, 2}}}
+	m, err := DeferredAcceptance(prefs, schools, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Assigned[0] != -1 || m.Assigned[1] != 0 || m.Assigned[2] != 0 {
+		t.Errorf("assignment = %v, want [-1 0 0]", m.Assigned)
+	}
+}
+
+func TestReservedSeatsAdmitDisadvantaged(t *testing.T) {
+	// Capacity 2, 1 reserved. Students by score: 0 (9), 1 (8), 2 (7, only
+	// disadvantaged). Without reserve: {0, 1}. With reserve: {2} takes the
+	// reserved seat, {0} the open one.
+	prefs := [][]int{{0}, {0}, {0}}
+	disadvantaged := []bool{false, false, true}
+	open := []School{{Capacity: 2, Reserved: 0, Scores: []float64{9, 8, 7}}}
+	m, err := DeferredAcceptance(prefs, open, disadvantaged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Assigned[2] != -1 {
+		t.Fatalf("without reserve, student 2 should be rejected: %v", m.Assigned)
+	}
+	reserved := []School{{Capacity: 2, Reserved: 1, Scores: []float64{9, 8, 7}}}
+	m, err = DeferredAcceptance(prefs, reserved, disadvantaged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Assigned[2] != 0 || m.Assigned[0] != 0 || m.Assigned[1] != -1 {
+		t.Errorf("with reserve, assignment = %v, want [0 -1 0]", m.Assigned)
+	}
+	if st, sc := BlockingPair(prefs, reserved, disadvantaged, m); st != -1 {
+		t.Errorf("blocking pair (%d, %d)", st, sc)
+	}
+}
+
+func TestReservedSeatsRevertWhenUnfilled(t *testing.T) {
+	// Reserve 2 of 2 seats but no disadvantaged applicants: both seats
+	// revert.
+	prefs := [][]int{{0}, {0}}
+	disadvantaged := []bool{false, false}
+	schools := []School{{Capacity: 2, Reserved: 2, Scores: []float64{2, 1}}}
+	m, err := DeferredAcceptance(prefs, schools, disadvantaged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Assigned[0] != 0 || m.Assigned[1] != 0 {
+		t.Errorf("assignment = %v, want both admitted", m.Assigned)
+	}
+}
+
+func TestDeferredAcceptanceValidation(t *testing.T) {
+	if _, err := DeferredAcceptance([][]int{{0}}, []School{{Capacity: -1, Scores: []float64{1}}}, nil); err == nil {
+		t.Error("negative capacity: expected error")
+	}
+	if _, err := DeferredAcceptance([][]int{{0}}, []School{{Capacity: 1, Reserved: 2, Scores: []float64{1}}}, nil); err == nil {
+		t.Error("reserved > capacity: expected error")
+	}
+	if _, err := DeferredAcceptance([][]int{{0}}, []School{{Capacity: 1, Scores: []float64{1, 2}}}, nil); err == nil {
+		t.Error("score length mismatch: expected error")
+	}
+	if _, err := DeferredAcceptance([][]int{{5}}, []School{{Capacity: 1, Scores: []float64{1}}}, nil); err == nil {
+		t.Error("unknown school in prefs: expected error")
+	}
+	if _, err := DeferredAcceptance([][]int{{0}}, []School{{Capacity: 1, Reserved: 1, Scores: []float64{1}}}, nil); err == nil {
+		t.Error("reserve without disadvantaged flags: expected error")
+	}
+	if _, err := DeferredAcceptance([][]int{{0}}, []School{{Capacity: 1, Scores: []float64{1}}}, []bool{true, false}); err == nil {
+		t.Error("flag length mismatch: expected error")
+	}
+}
+
+// Property: random instances always produce stable matches (no blocking
+// pairs under the schools' choice functions) and never overfill capacity.
+func TestRandomInstancesAreStable(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nStudents := 5 + rng.Intn(40)
+		nSchools := 1 + rng.Intn(5)
+		schools := make([]School, nSchools)
+		disadvantaged := make([]bool, nStudents)
+		for i := range disadvantaged {
+			disadvantaged[i] = rng.Float64() < 0.4
+		}
+		for s := range schools {
+			scores := make([]float64, nStudents)
+			for i := range scores {
+				scores[i] = rng.Float64()
+			}
+			capn := 1 + rng.Intn(5)
+			schools[s] = School{
+				Capacity: capn,
+				Reserved: rng.Intn(capn + 1),
+				Scores:   scores,
+			}
+		}
+		prefs := make([][]int, nStudents)
+		for i := range prefs {
+			p := rng.Perm(nSchools)
+			prefs[i] = p[:1+rng.Intn(nSchools)]
+		}
+		m, err := DeferredAcceptance(prefs, schools, disadvantaged)
+		if err != nil {
+			return false
+		}
+		fill := make([]int, nSchools)
+		for i, s := range m.Assigned {
+			if s >= 0 {
+				fill[s]++
+				// Assigned school must be on the student's list.
+				onList := false
+				for _, ps := range prefs[i] {
+					if ps == s {
+						onList = true
+						break
+					}
+				}
+				if !onList {
+					return false
+				}
+			}
+		}
+		for s, c := range fill {
+			if c > schools[s].Capacity {
+				return false
+			}
+		}
+		st, _ := BlockingPair(prefs, schools, disadvantaged, m)
+		return st == -1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,163 @@
+// Package metrics implements the fairness and utility metrics of the paper:
+// the disparity vector (Definition 3) and its logarithmically discounted
+// whole-ranking variant (Section IV-E), nDCG utility, exposure and the DDP
+// demographic-disparity constraint (Section VI-C4), the scaled disparate
+// impact (Section VI-C5), and per-group false positive rate differences
+// (the equalized-odds extension used on COMPAS).
+//
+// Every fairness metric in this package returns a vector with one dimension
+// per fairness attribute, bounded in [-1, 1], with 0 meaning statistical
+// parity — the contract DCA requires of its optimization objectives.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"fairrank/internal/dataset"
+)
+
+// Norm returns the L2 norm of a disparity vector, the scalar the paper
+// minimizes.
+func Norm(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Disparity returns the disparity vector of a selection over the whole
+// dataset: the centroid of the selected objects minus the centroid of the
+// population, one dimension per fairness attribute (Definition 3).
+// Negative values mean the attribute is underrepresented in the selection.
+func Disparity(d *dataset.Dataset, selected []int) []float64 {
+	return DisparityAgainst(d, selected, d.FairCentroid())
+}
+
+// DisparityAgainst computes the disparity of a selection against a
+// precomputed population centroid. Callers that evaluate many selections
+// over the same population (every DCA step) use this to avoid recomputing
+// the centroid.
+func DisparityAgainst(d *dataset.Dataset, selected []int, popCentroid []float64) []float64 {
+	sel := d.FairCentroidOf(selected)
+	out := make([]float64, len(sel))
+	for j := range sel {
+		out[j] = sel[j] - popCentroid[j]
+	}
+	return out
+}
+
+// DisparityWithin computes the disparity of a selection drawn from a sample
+// of the dataset: both centroids (selected and "population") are computed
+// over the sample, matching Theorem 4.5's sample disparity
+// D_s = D_sk - D_sO. sampleIdx and selIdx hold absolute object indices;
+// selIdx must be a subset of sampleIdx.
+func DisparityWithin(d *dataset.Dataset, sampleIdx, selIdx []int) []float64 {
+	pop := d.FairCentroidOf(sampleIdx)
+	sel := d.FairCentroidOf(selIdx)
+	for j := range sel {
+		sel[j] -= pop[j]
+	}
+	return sel
+}
+
+// LogDiscount configures the logarithmically discounted disparity of
+// Section IV-E, which scores an entire ranking instead of a single
+// selection size.
+type LogDiscount struct {
+	// Points are the selection fractions at which disparity is evaluated,
+	// e.g. 0.10, 0.20, ..., MaxK following the paper's i ∈ {10, 20, 30...}.
+	// Use DefaultPoints to build them.
+	Points []float64
+}
+
+// DefaultPoints returns the evaluation fractions {step, 2*step, ...} up to
+// and including maxK (paper default: step 0.10 up to the k of interest).
+func DefaultPoints(step, maxK float64) []float64 {
+	var pts []float64
+	for f := step; f <= maxK+1e-9; f += step {
+		pts = append(pts, math.Min(f, 1))
+	}
+	return pts
+}
+
+// PointsRange returns evaluation fractions restricted to [minK, maxK] in
+// steps of step — the Section IV-E note that "users might only be
+// interested in the top half of the ranking": disparity outside the range
+// of interest is simply not evaluated.
+func PointsRange(step, minK, maxK float64) []float64 {
+	var pts []float64
+	for f := step; f <= maxK+1e-9; f += step {
+		if f >= minK-1e-9 {
+			pts = append(pts, math.Min(f, 1))
+		}
+	}
+	return pts
+}
+
+// Weight returns the discount applied at selection fraction f:
+// 1 / log2(i + 1) with i the percentage value (f * 100), so that smaller
+// selections (earlier ranks) matter more.
+func (ld LogDiscount) Weight(f float64) float64 {
+	return 1 / math.Log2(f*100+1)
+}
+
+// Eval computes the normalized discounted disparity vector
+// (1/Z) * Σ_i D_i / log2(i+1) for a ranking given as descending-order
+// object indices over the sample sampleIdx. The result keeps the contract
+// of the plain disparity: each dimension in [-1, 1], 0 at parity.
+func (ld LogDiscount) Eval(d *dataset.Dataset, order []int) ([]float64, error) {
+	if len(ld.Points) == 0 {
+		return nil, fmt.Errorf("metrics: LogDiscount with no evaluation points")
+	}
+	n := len(order)
+	if n == 0 {
+		return make([]float64, d.NumFair()), nil
+	}
+	pop := d.FairCentroidOf(order)
+	dims := d.NumFair()
+	acc := make([]float64, dims)
+	running := make([]float64, dims) // running sum of fairness rows over the prefix
+	var z float64
+	next := 0
+	prefix := 0
+	row := make([]float64, dims)
+	for next < len(ld.Points) {
+		k, err := prefixCount(n, ld.Points[next])
+		if err != nil {
+			return nil, err
+		}
+		for prefix < k {
+			d.FairRow(order[prefix], row)
+			for j := range running {
+				running[j] += row[j]
+			}
+			prefix++
+		}
+		w := ld.Weight(ld.Points[next])
+		z += w
+		for j := range acc {
+			acc[j] += w * (running[j]/float64(prefix) - pop[j])
+		}
+		next++
+	}
+	for j := range acc {
+		acc[j] /= z
+	}
+	return acc, nil
+}
+
+func prefixCount(n int, frac float64) (int, error) {
+	if math.IsNaN(frac) || frac <= 0 || frac > 1 {
+		return 0, fmt.Errorf("metrics: prefix fraction %v outside (0,1]", frac)
+	}
+	k := int(frac*float64(n) + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k, nil
+}

@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"fairrank/internal/dataset"
+)
+
+// Exposure returns Σ_{i∈G} 1/log2(r(i)+1) where r(i) is the 1-based rank of
+// object i in the ranking order, for the group G given by the member
+// predicate. This is the exposure definition of Gupta et al. used in
+// Section VI-C4.
+func Exposure(order []int, member func(i int) bool) float64 {
+	var s float64
+	for pos, obj := range order {
+		if member(obj) {
+			s += 1 / math.Log2(float64(pos)+2)
+		}
+	}
+	return s
+}
+
+// DDP returns the demographic disparity constraint of Gupta et al.:
+// the maximum pairwise difference of per-capita exposure across groups.
+// Groups are the member sets of the listed binary fairness attributes plus
+// the set of objects belonging to none of them; a value of 0 means every
+// group receives the same average exposure.
+//
+// Continuous fairness attributes are not supported (DDP is a group metric);
+// pass only the binary attribute columns, as the paper does when it drops
+// ENI for the exposure experiment.
+func DDP(d *dataset.Dataset, order []int, fairCols []int) (float64, error) {
+	if len(fairCols) == 0 {
+		return 0, fmt.Errorf("metrics: DDP with no fairness attributes")
+	}
+	type group struct {
+		exposure float64
+		size     int
+	}
+	groups := make([]group, len(fairCols)+1) // +1 for the unprotected rest
+	for pos, obj := range order {
+		w := 1 / math.Log2(float64(pos)+2)
+		inAny := false
+		for gi, col := range fairCols {
+			if d.Fair(obj, col) > 0.5 {
+				groups[gi].exposure += w
+				groups[gi].size++
+				inAny = true
+			}
+		}
+		if !inAny {
+			rest := &groups[len(fairCols)]
+			rest.exposure += w
+			rest.size++
+		}
+	}
+	var perCapita []float64
+	for _, g := range groups {
+		if g.size > 0 {
+			perCapita = append(perCapita, g.exposure/float64(g.size))
+		}
+	}
+	if len(perCapita) < 2 {
+		return 0, nil
+	}
+	var ddp float64
+	for i := 0; i < len(perCapita); i++ {
+		for j := i + 1; j < len(perCapita); j++ {
+			diff := math.Abs(perCapita[i] - perCapita[j])
+			if diff > ddp {
+				ddp = diff
+			}
+		}
+	}
+	return ddp, nil
+}

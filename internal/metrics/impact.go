@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"fairrank/internal/dataset"
+)
+
+// DisparateImpact returns the paper's scaled disparate-impact vector
+// (Section VI-C5). For each binary fairness attribute F the Zafar et al.
+// ratio min(P(O=1|F=0)/P(O=1|F=1), P(O=1|F=1)/P(O=1|F=0)) lies in (0, 1]
+// with 1 meaning parity; it is rescaled to [-1, 1] as
+// sign(P(O=1|F=1) - P(O=1|F=0)) * (1 - ratio) so that 0 means parity and
+// the sign gives the direction of the impact, matching DCA's objective
+// contract. Attributes where either group is empty or no one is selected
+// contribute 0.
+func DisparateImpact(d *dataset.Dataset, selected []int) []float64 {
+	return DisparateImpactWithin(d, allIndices(d.N()), selected)
+}
+
+// DisparateImpactWithin is DisparateImpact computed over the sub-population
+// sampleIdx only, with selIdx ⊆ sampleIdx the selected objects. DCA uses it
+// to evaluate the objective on small samples.
+func DisparateImpactWithin(d *dataset.Dataset, sampleIdx, selIdx []int) []float64 {
+	dims := d.NumFair()
+	out := make([]float64, dims)
+	if len(sampleIdx) == 0 {
+		return out
+	}
+	isSel := make(map[int]bool, len(selIdx))
+	for _, i := range selIdx {
+		isSel[i] = true
+	}
+	for j := 0; j < dims; j++ {
+		col := d.FairColumn(j)
+		var selWith, totWith, selWithout, totWithout int
+		for _, i := range sampleIdx {
+			if col[i] > 0.5 {
+				totWith++
+				if isSel[i] {
+					selWith++
+				}
+			} else {
+				totWithout++
+				if isSel[i] {
+					selWithout++
+				}
+			}
+		}
+		if totWith == 0 || totWithout == 0 {
+			continue
+		}
+		pWith := float64(selWith) / float64(totWith)
+		pWithout := float64(selWithout) / float64(totWithout)
+		switch {
+		case pWith == 0 && pWithout == 0:
+			// no one selected in either group: parity
+		case pWith == 0:
+			out[j] = -1
+		case pWithout == 0:
+			out[j] = 1
+		default:
+			ratio := pWithout / pWith
+			if ratio > 1 {
+				ratio = 1 / ratio
+			}
+			if pWith >= pWithout {
+				out[j] = 1 - ratio
+			} else {
+				out[j] = -(1 - ratio)
+			}
+		}
+	}
+	return out
+}
+
+// FPRDiff returns, for each binary fairness attribute, the group false
+// positive rate minus the overall false positive rate. A "false positive"
+// is an object that was selected (flagged) although its ground-truth
+// outcome is false — the COMPAS criticism the paper revisits in Figure 10b.
+// The dataset must carry outcomes. Each dimension lies in [-1, 1]; 0 means
+// the group's FPR equals the population's.
+func FPRDiff(d *dataset.Dataset, selected []int) []float64 {
+	return FPRDiffWithin(d, allIndices(d.N()), selected)
+}
+
+// FPRDiffWithin is FPRDiff computed over the sub-population sampleIdx only,
+// with selIdx ⊆ sampleIdx the flagged objects.
+func FPRDiffWithin(d *dataset.Dataset, sampleIdx, selIdx []int) []float64 {
+	dims := d.NumFair()
+	out := make([]float64, dims)
+	if len(sampleIdx) == 0 || !d.HasOutcomes() {
+		return out
+	}
+	isSel := make(map[int]bool, len(selIdx))
+	for _, i := range selIdx {
+		isSel[i] = true
+	}
+	var fpAll, negAll int
+	for _, i := range sampleIdx {
+		if !d.Outcome(i) {
+			negAll++
+			if isSel[i] {
+				fpAll++
+			}
+		}
+	}
+	if negAll == 0 {
+		return out
+	}
+	overall := float64(fpAll) / float64(negAll)
+	for j := 0; j < dims; j++ {
+		col := d.FairColumn(j)
+		var fp, neg int
+		for _, i := range sampleIdx {
+			if col[i] > 0.5 && !d.Outcome(i) {
+				neg++
+				if isSel[i] {
+					fp++
+				}
+			}
+		}
+		if neg == 0 {
+			continue
+		}
+		out[j] = float64(fp)/float64(neg) - overall
+	}
+	return out
+}
+
+// allIndices returns {0, ..., n-1}.
+func allIndices(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// GroupFPR returns the false positive rate of the members of binary
+// fairness attribute j under the given selection, and the count of
+// ground-truth-negative members it is based on.
+func GroupFPR(d *dataset.Dataset, selected []int, j int) (fpr float64, negatives int) {
+	if !d.HasOutcomes() {
+		return 0, 0
+	}
+	isSel := make([]bool, d.N())
+	for _, i := range selected {
+		isSel[i] = true
+	}
+	col := d.FairColumn(j)
+	var fp int
+	for i, v := range col {
+		if v > 0.5 && !d.Outcome(i) {
+			negatives++
+			if isSel[i] {
+				fp++
+			}
+		}
+	}
+	if negatives == 0 {
+		return 0, 0
+	}
+	return float64(fp) / float64(negatives), negatives
+}

@@ -1,0 +1,187 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"fairrank/internal/dataset"
+)
+
+func outcomeDataset(t testing.TB, fair []float64, outcomes []bool) *dataset.Dataset {
+	t.Helper()
+	score := make([]float64, len(fair))
+	d, err := dataset.New([]string{"s"}, []string{"f"}, [][]float64{score}, [][]float64{fair}, outcomes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDisparateImpactParity(t *testing.T) {
+	fair := []float64{1, 1, 0, 0}
+	d := binaryDataset(t, fair)
+	// One selected from each group: P(sel|F=1) = P(sel|F=0) = 0.5.
+	got := DisparateImpact(d, []int{0, 2})
+	if got[0] != 0 {
+		t.Errorf("DI at parity = %v, want 0", got[0])
+	}
+}
+
+func TestDisparateImpactDirectionAndBounds(t *testing.T) {
+	fair := []float64{1, 1, 1, 1, 0, 0, 0, 0}
+	d := binaryDataset(t, fair)
+	// Protected group selected less often: negative.
+	got := DisparateImpact(d, []int{0, 4, 5, 6})
+	if got[0] >= 0 || got[0] < -1 {
+		t.Errorf("underrepresentation DI = %v, want in [-1, 0)", got[0])
+	}
+	// Only protected selected: +1 (complete unfairness the other way).
+	got = DisparateImpact(d, []int{0, 1})
+	if got[0] != 1 {
+		t.Errorf("protected-only DI = %v, want 1", got[0])
+	}
+	// Only unprotected selected: -1.
+	got = DisparateImpact(d, []int{4, 5})
+	if got[0] != -1 {
+		t.Errorf("unprotected-only DI = %v, want -1", got[0])
+	}
+	// Nobody selected: 0 by convention.
+	got = DisparateImpact(d, nil)
+	if got[0] != 0 {
+		t.Errorf("empty selection DI = %v, want 0", got[0])
+	}
+}
+
+func TestDisparateImpactValue(t *testing.T) {
+	// P(sel|F=1) = 1/4, P(sel|F=0) = 2/4 -> ratio 0.5, sign negative ->
+	// -(1-0.5) = -0.5.
+	fair := []float64{1, 1, 1, 1, 0, 0, 0, 0}
+	d := binaryDataset(t, fair)
+	got := DisparateImpact(d, []int{0, 4, 5})
+	if math.Abs(got[0]-(-0.5)) > 1e-12 {
+		t.Errorf("DI = %v, want -0.5", got[0])
+	}
+}
+
+func TestDisparateImpactDegenerateGroup(t *testing.T) {
+	// Everyone protected: attribute contributes 0 (no comparison group).
+	fair := []float64{1, 1, 1}
+	d := binaryDataset(t, fair)
+	if got := DisparateImpact(d, []int{0}); got[0] != 0 {
+		t.Errorf("single-group DI = %v, want 0", got[0])
+	}
+}
+
+func TestFPRDiff(t *testing.T) {
+	// 4 negatives (no recidivism): two protected, two not. Flag one
+	// protected negative and zero unprotected negatives.
+	fair := []float64{1, 1, 0, 0, 1, 0}
+	outcomes := []bool{false, false, false, false, true, true}
+	d := outcomeDataset(t, fair, outcomes)
+	got := FPRDiff(d, []int{0, 4, 5})
+	// Overall FPR = 1/4; protected FPR = 1/2; diff = 0.25.
+	if math.Abs(got[0]-0.25) > 1e-12 {
+		t.Errorf("FPRDiff = %v, want 0.25", got[0])
+	}
+}
+
+func TestFPRDiffNoOutcomes(t *testing.T) {
+	d := binaryDataset(t, []float64{1, 0})
+	if got := FPRDiff(d, []int{0}); got[0] != 0 {
+		t.Errorf("FPRDiff without outcomes = %v, want 0", got[0])
+	}
+}
+
+func TestFPRDiffAllPositives(t *testing.T) {
+	fair := []float64{1, 0}
+	outcomes := []bool{true, true}
+	d := outcomeDataset(t, fair, outcomes)
+	if got := FPRDiff(d, []int{0}); got[0] != 0 {
+		t.Errorf("FPRDiff with no negatives = %v, want 0", got[0])
+	}
+}
+
+func TestGroupFPR(t *testing.T) {
+	fair := []float64{1, 1, 0}
+	outcomes := []bool{false, false, false}
+	d := outcomeDataset(t, fair, outcomes)
+	fpr, neg := GroupFPR(d, []int{0}, 0)
+	if neg != 2 || math.Abs(fpr-0.5) > 1e-12 {
+		t.Errorf("GroupFPR = (%v, %d), want (0.5, 2)", fpr, neg)
+	}
+	fpr, neg = GroupFPR(binaryDataset(t, fair), []int{0}, 0)
+	if fpr != 0 || neg != 0 {
+		t.Errorf("GroupFPR without outcomes = (%v, %d)", fpr, neg)
+	}
+}
+
+func TestExposure(t *testing.T) {
+	order := []int{3, 1, 2, 0}
+	// Members: objects 3 (rank 1) and 2 (rank 3).
+	member := func(i int) bool { return i == 3 || i == 2 }
+	got := Exposure(order, member)
+	want := 1/math.Log2(2) + 1/math.Log2(4)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("Exposure = %v, want %v", got, want)
+	}
+}
+
+func TestDDPUniformOrderingIsSmall(t *testing.T) {
+	// Two interleaved groups get nearly equal per-capita exposure.
+	fair := make([]float64, 40)
+	order := make([]int, 40)
+	for i := range fair {
+		if i%2 == 0 {
+			fair[i] = 1
+		}
+		order[i] = i
+	}
+	d := binaryDataset(t, fair)
+	ddp, err := DDP(d, order, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A small residual remains because even ranks systematically precede
+	// odd ranks under the log discount.
+	if ddp > 0.05 {
+		t.Errorf("DDP of interleaved groups = %v, want ≈ 0", ddp)
+	}
+}
+
+func TestDDPFrontLoadedIsLarge(t *testing.T) {
+	fair := make([]float64, 40)
+	order := make([]int, 40)
+	for i := range fair {
+		if i < 20 {
+			fair[i] = 1 // protected group hogs the top
+		}
+		order[i] = i
+	}
+	d := binaryDataset(t, fair)
+	ddp, err := DDP(d, order, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := DDP(d, interleave(40), []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ddp <= small {
+		t.Errorf("front-loaded DDP %v should exceed interleaved %v", ddp, small)
+	}
+}
+
+func interleave(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n/2; i++ {
+		out = append(out, i, i+n/2)
+	}
+	return out
+}
+
+func TestDDPErrors(t *testing.T) {
+	d := binaryDataset(t, []float64{1, 0})
+	if _, err := DDP(d, []int{0, 1}, nil); err == nil {
+		t.Error("no attributes: expected error")
+	}
+}

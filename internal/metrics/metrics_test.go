@@ -1,0 +1,239 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fairrank/internal/dataset"
+)
+
+// binaryDataset builds a one-attribute dataset; t may be nil when called
+// from testing/quick property functions.
+func binaryDataset(t testing.TB, fair []float64) *dataset.Dataset {
+	if t != nil {
+		t.Helper()
+	}
+	score := make([]float64, len(fair))
+	for i := range score {
+		score[i] = float64(i)
+	}
+	d, err := dataset.New([]string{"s"}, []string{"f"}, [][]float64{score}, [][]float64{fair}, nil)
+	if err != nil {
+		if t != nil {
+			t.Fatal(err)
+		}
+		panic(err)
+	}
+	return d
+}
+
+func TestDisparityWorkedExample(t *testing.T) {
+	// The paper's example: population 30% low income, selection 20% low
+	// income -> disparity -0.10.
+	fair := make([]float64, 100)
+	for i := 0; i < 30; i++ {
+		fair[i] = 1
+	}
+	d := binaryDataset(t, fair)
+	// Select 10 objects, 2 of them low income.
+	selected := []int{0, 1, 40, 41, 42, 43, 44, 45, 46, 47}
+	got := Disparity(d, selected)
+	if math.Abs(got[0]-(-0.10)) > 1e-12 {
+		t.Errorf("disparity = %v, want -0.10", got[0])
+	}
+}
+
+func TestDisparityZeroAtParity(t *testing.T) {
+	fair := []float64{1, 1, 0, 0, 1, 1, 0, 0}
+	d := binaryDataset(t, fair)
+	// Selection with the same 50% composition as the population.
+	got := Disparity(d, []int{0, 2, 5, 7})
+	if math.Abs(got[0]) > 1e-12 {
+		t.Errorf("disparity at parity = %v, want 0", got[0])
+	}
+}
+
+// Property: every disparity dimension lies in [-1, 1]; selecting everyone
+// gives exactly zero.
+func TestDisparityBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		fair := make([]float64, n)
+		for i := range fair {
+			fair[i] = float64(rng.Intn(2))
+		}
+		d := binaryDataset(nil, fair)
+		k := 1 + rng.Intn(n)
+		sel := rng.Perm(n)[:k]
+		v := Disparity(d, sel)
+		if v[0] < -1 || v[0] > 1 {
+			return false
+		}
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return math.Abs(Disparity(d, all)[0]) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisparityWithin(t *testing.T) {
+	fair := []float64{1, 0, 1, 0, 1, 0}
+	d := binaryDataset(t, fair)
+	// Sample = {0,1,2,3} (50% protected); selection = {0,2} (100%).
+	got := DisparityWithin(d, []int{0, 1, 2, 3}, []int{0, 2})
+	if math.Abs(got[0]-0.5) > 1e-12 {
+		t.Errorf("DisparityWithin = %v, want 0.5", got[0])
+	}
+}
+
+func TestNorm(t *testing.T) {
+	if got := Norm([]float64{0.3, -0.4}); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Norm = %v, want 0.5", got)
+	}
+	if Norm(nil) != 0 {
+		t.Error("Norm(nil) != 0")
+	}
+}
+
+func TestLogDiscountWeights(t *testing.T) {
+	ld := LogDiscount{}
+	// Weight at 10% = 1/log2(11); smaller fractions weigh more.
+	w10 := ld.Weight(0.10)
+	if math.Abs(w10-1/math.Log2(11)) > 1e-12 {
+		t.Errorf("Weight(0.10) = %v", w10)
+	}
+	if ld.Weight(0.05) <= ld.Weight(0.5) {
+		t.Error("discounting must favor smaller selections")
+	}
+}
+
+func TestDefaultPoints(t *testing.T) {
+	pts := DefaultPoints(0.1, 0.5)
+	want := []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+	if len(pts) != len(want) {
+		t.Fatalf("points = %v", pts)
+	}
+	for i := range want {
+		if math.Abs(pts[i]-want[i]) > 1e-9 {
+			t.Fatalf("points = %v, want %v", pts, want)
+		}
+	}
+}
+
+func TestLogDiscountEvalParityIsZero(t *testing.T) {
+	// Alternating membership: every prefix of even length is at parity; the
+	// discounted aggregate should be near zero.
+	fair := make([]float64, 100)
+	for i := range fair {
+		if i%2 == 0 {
+			fair[i] = 1
+		}
+	}
+	d := binaryDataset(t, fair)
+	order := make([]int, 100)
+	for i := range order {
+		order[i] = i
+	}
+	ld := LogDiscount{Points: DefaultPoints(0.1, 0.5)}
+	got, err := ld.Eval(d, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]) > 0.02 {
+		t.Errorf("discounted disparity at parity = %v, want ≈ 0", got[0])
+	}
+}
+
+func TestLogDiscountEvalDetectsFrontLoading(t *testing.T) {
+	// All protected objects ranked last: strongly negative.
+	fair := make([]float64, 100)
+	for i := 50; i < 100; i++ {
+		fair[i] = 1
+	}
+	d := binaryDataset(t, fair)
+	order := make([]int, 100)
+	for i := range order {
+		order[i] = i
+	}
+	ld := LogDiscount{Points: DefaultPoints(0.1, 0.5)}
+	got, err := ld.Eval(d, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] >= -0.3 {
+		t.Errorf("discounted disparity = %v, want strongly negative", got[0])
+	}
+	if got[0] < -1 {
+		t.Errorf("discounted disparity = %v outside [-1,1]", got[0])
+	}
+}
+
+func TestLogDiscountEvalErrors(t *testing.T) {
+	d := binaryDataset(t, []float64{1, 0})
+	if _, err := (LogDiscount{}).Eval(d, []int{0, 1}); err == nil {
+		t.Error("no points: expected error")
+	}
+	if _, err := (LogDiscount{Points: []float64{2}}).Eval(d, []int{0, 1}); err == nil {
+		t.Error("point > 1: expected error")
+	}
+	got, err := (LogDiscount{Points: []float64{0.5}}).Eval(d, nil)
+	if err != nil || got[0] != 0 {
+		t.Errorf("empty order = (%v, %v), want zero vector", got, err)
+	}
+}
+
+func TestNDCGUnchangedRankingIsOne(t *testing.T) {
+	gains := []float64{9, 7, 5, 3, 1}
+	order := []int{0, 1, 2, 3, 4}
+	got, err := NDCG(gains, order, order, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("NDCG of unchanged ranking = %v, want 1", got)
+	}
+}
+
+func TestNDCGReversedIsBelowOne(t *testing.T) {
+	gains := []float64{9, 7, 5, 3, 1}
+	orig := []int{0, 1, 2, 3, 4}
+	rev := []int{4, 3, 2, 1, 0}
+	got, err := NDCG(gains, rev, orig, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got >= 1 || got <= 0 {
+		t.Errorf("NDCG of reversed ranking = %v, want in (0,1)", got)
+	}
+}
+
+func TestNDCGErrors(t *testing.T) {
+	gains := []float64{1, 2}
+	if _, err := NDCG(gains, []int{0}, []int{0, 1}, 1); err == nil {
+		t.Error("length mismatch: expected error")
+	}
+	if _, err := NDCG(gains, []int{0, 1}, []int{0, 1}, 0); err == nil {
+		t.Error("k=0: expected error")
+	}
+	if _, err := NDCG([]float64{0, 0}, []int{0, 1}, []int{0, 1}, 2); err == nil {
+		t.Error("zero ideal DCG: expected error")
+	}
+	if _, err := NDCGAtFrac(gains, []int{0, 1}, []int{0, 1}, 1.5); err == nil {
+		t.Error("frac > 1: expected error")
+	}
+}
+
+func TestDCGTruncation(t *testing.T) {
+	gains := []float64{4, 2}
+	order := []int{0, 1}
+	if got := DCG(gains, order, 10); math.Abs(got-(4+2/math.Log2(3))) > 1e-12 {
+		t.Errorf("DCG clamps k: got %v", got)
+	}
+}

@@ -1,0 +1,51 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// DCG returns the discounted cumulative gain of the first k positions of
+// the ranking order (object indices, best first) with gains taken from the
+// uncompensated base scores: Σ_{i=1..k} gain(order[i]) / log2(i+1).
+func DCG(gains []float64, order []int, k int) float64 {
+	if k > len(order) {
+		k = len(order)
+	}
+	var s float64
+	for i := 0; i < k; i++ {
+		s += gains[order[i]] / math.Log2(float64(i)+2)
+	}
+	return s
+}
+
+// NDCG returns the normalized DCG at the top k positions of the
+// compensated ranking, with the *original* (uncompensated) ranking as the
+// ideal, following the paper's utility definition: 1 means the fairness
+// compensation did not change the ranking at all.
+//
+// gains are the base scores; corrected and original are descending-order
+// index permutations of the same population.
+func NDCG(gains []float64, corrected, original []int, k int) (float64, error) {
+	if len(corrected) != len(original) {
+		return 0, fmt.Errorf("metrics: NDCG rankings of length %d vs %d", len(corrected), len(original))
+	}
+	if k <= 0 {
+		return 0, fmt.Errorf("metrics: NDCG with k=%d", k)
+	}
+	ideal := DCG(gains, original, k)
+	if ideal == 0 {
+		return 0, fmt.Errorf("metrics: NDCG ideal DCG is zero")
+	}
+	return DCG(gains, corrected, k) / ideal, nil
+}
+
+// NDCGAtFrac is NDCG with k expressed as a fraction of the population, the
+// nDCG@k of Figures 1 and 2.
+func NDCGAtFrac(gains []float64, corrected, original []int, frac float64) (float64, error) {
+	k, err := prefixCount(len(original), frac)
+	if err != nil {
+		return 0, err
+	}
+	return NDCG(gains, corrected, original, k)
+}

@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"fairrank/internal/dataset"
+)
+
+// This file implements the rank-fairness measure family of Yang &
+// Stoyanovich ("Measuring fairness in ranked outputs", SSDBM 2017) — the
+// paper's reference [3] and the source of its logarithmic discounting.
+// All three measures aggregate a per-prefix set-fairness quantity over
+// cut points {10%, 20%, ...} with 1/log2(i+1) discounts and normalize by
+// the maximum attainable value, yielding scores in [0, 1] where 0 is
+// perfectly fair. They complement the disparity vector as external
+// referees for DCA's output: a bonus vector trained on disparity should
+// also shrink rND/rKL/rRD.
+
+// YangStoyanovich evaluates the measure family for one binary protected
+// attribute over prefix cut points.
+type YangStoyanovich struct {
+	// Points are the evaluation fractions (DefaultPoints(0.1, 1) in the
+	// original formulation).
+	Points []float64
+}
+
+// RND is the normalized discounted difference: at each cut point, the
+// absolute difference between the protected share of the prefix and the
+// protected share of the population.
+func (ys YangStoyanovich) RND(d *dataset.Dataset, order []int, col int) (float64, error) {
+	return ys.eval(d, order, col, func(prefShare, popShare float64, _ int) float64 {
+		return math.Abs(prefShare - popShare)
+	})
+}
+
+// RKL is the discounted KL-divergence between the per-prefix membership
+// distribution and the population distribution.
+func (ys YangStoyanovich) RKL(d *dataset.Dataset, order []int, col int) (float64, error) {
+	return ys.eval(d, order, col, func(prefShare, popShare float64, _ int) float64 {
+		return klBernoulli(prefShare, popShare)
+	})
+}
+
+// RRD is the normalized discounted ratio difference: the absolute
+// difference between the protected/unprotected ratio in the prefix and in
+// the population (0 when either prefix class is empty, following the
+// original definition).
+func (ys YangStoyanovich) RRD(d *dataset.Dataset, order []int, col int) (float64, error) {
+	return ys.eval(d, order, col, func(prefShare, popShare float64, _ int) float64 {
+		prefRatio := ratioOf(prefShare)
+		popRatio := ratioOf(popShare)
+		if math.IsInf(prefRatio, 0) || math.IsInf(popRatio, 0) {
+			return 0
+		}
+		return math.Abs(prefRatio - popRatio)
+	})
+}
+
+func ratioOf(share float64) float64 {
+	if share <= 0 {
+		return 0
+	}
+	if share >= 1 {
+		return math.Inf(1)
+	}
+	return share / (1 - share)
+}
+
+// klBernoulli returns KL(p || q) for Bernoulli distributions, with the
+// conventional 0·log(0) = 0 and a small floor on q to keep the measure
+// finite when the population is degenerate.
+func klBernoulli(p, q float64) float64 {
+	const eps = 1e-12
+	q = math.Min(math.Max(q, eps), 1-eps)
+	var kl float64
+	if p > 0 {
+		kl += p * math.Log2(p/q)
+	}
+	if p < 1 {
+		kl += (1 - p) * math.Log2((1-p)/(1-q))
+	}
+	if kl < 0 {
+		kl = 0 // numeric noise
+	}
+	return kl
+}
+
+// eval aggregates a per-prefix divergence with log discounts, normalized
+// by the maximum attainable value of the same aggregate (computed on the
+// worst ordering: all unprotected first or all protected first, whichever
+// diverges more at each cut point).
+func (ys YangStoyanovich) eval(d *dataset.Dataset, order []int, col int, div func(prefShare, popShare float64, prefLen int) float64) (float64, error) {
+	if len(ys.Points) == 0 {
+		return 0, fmt.Errorf("metrics: Yang-Stoyanovich with no cut points")
+	}
+	n := len(order)
+	if n == 0 {
+		return 0, nil
+	}
+	column := d.FairColumn(col)
+	var popCount int
+	for _, i := range order {
+		if column[i] > 0.5 {
+			popCount++
+		}
+	}
+	popShare := float64(popCount) / float64(n)
+
+	var raw, zMax float64
+	protSoFar := 0
+	prefix := 0
+	for _, f := range ys.Points {
+		cut, err := prefixCount(n, f)
+		if err != nil {
+			return 0, err
+		}
+		for prefix < cut {
+			if column[order[prefix]] > 0.5 {
+				protSoFar++
+			}
+			prefix++
+		}
+		w := 1 / math.Log2(f*100+1)
+		raw += w * div(float64(protSoFar)/float64(prefix), popShare, prefix)
+		// Worst case at this cut point: prefix entirely protected or
+		// entirely unprotected, bounded by availability.
+		maxProt := minInt(prefix, popCount)
+		minProt := maxInt(0, prefix-(n-popCount))
+		worst := math.Max(
+			div(float64(maxProt)/float64(prefix), popShare, prefix),
+			div(float64(minProt)/float64(prefix), popShare, prefix),
+		)
+		zMax += w * worst
+	}
+	if zMax == 0 {
+		return 0, nil
+	}
+	v := raw / zMax
+	if v > 1 {
+		v = 1
+	}
+	return v, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func ysOrder(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+func TestYangStoyanovichFairOrderingNearZero(t *testing.T) {
+	// Alternating membership: every prefix mirrors the population.
+	fair := make([]float64, 200)
+	for i := range fair {
+		if i%2 == 0 {
+			fair[i] = 1
+		}
+	}
+	d := binaryDataset(t, fair)
+	ys := YangStoyanovich{Points: DefaultPoints(0.1, 1)}
+	for name, f := range map[string]func() (float64, error){
+		"rND": func() (float64, error) { return ys.RND(d, ysOrder(200), 0) },
+		"rKL": func() (float64, error) { return ys.RKL(d, ysOrder(200), 0) },
+		"rRD": func() (float64, error) { return ys.RRD(d, ysOrder(200), 0) },
+	} {
+		v, err := f()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v > 0.05 {
+			t.Errorf("%s of fair ordering = %v, want ≈ 0", name, v)
+		}
+	}
+}
+
+func TestYangStoyanovichWorstOrderingNearOne(t *testing.T) {
+	// All protected at the bottom: maximal unfairness.
+	fair := make([]float64, 200)
+	for i := 100; i < 200; i++ {
+		fair[i] = 1
+	}
+	d := binaryDataset(t, fair)
+	ys := YangStoyanovich{Points: DefaultPoints(0.1, 1)}
+	rnd, err := ys.RND(d, ysOrder(200), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rnd < 0.9 {
+		t.Errorf("rND of worst ordering = %v, want ≈ 1", rnd)
+	}
+	rkl, err := ys.RKL(d, ysOrder(200), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rkl < 0.9 {
+		t.Errorf("rKL of worst ordering = %v, want ≈ 1", rkl)
+	}
+}
+
+func TestYangStoyanovichBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		n := 20 + rng.Intn(200)
+		fair := make([]float64, n)
+		for i := range fair {
+			if rng.Float64() < 0.3 {
+				fair[i] = 1
+			}
+		}
+		d := binaryDataset(t, fair)
+		order := rng.Perm(n)
+		ys := YangStoyanovich{Points: DefaultPoints(0.1, 1)}
+		for name, f := range map[string]func() (float64, error){
+			"rND": func() (float64, error) { return ys.RND(d, order, 0) },
+			"rKL": func() (float64, error) { return ys.RKL(d, order, 0) },
+			"rRD": func() (float64, error) { return ys.RRD(d, order, 0) },
+		} {
+			v, err := f()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v < 0 || v > 1 {
+				t.Fatalf("%s = %v outside [0,1]", name, v)
+			}
+		}
+	}
+}
+
+func TestYangStoyanovichOrderingSensitivity(t *testing.T) {
+	// Pushing the protected group down must increase every measure.
+	n := 100
+	fair := make([]float64, n)
+	for i := 0; i < n/2; i++ {
+		fair[i] = 1
+	}
+	d := binaryDataset(t, fair)
+	fairOrder := interleave(n)
+	worstOrder := make([]int, n)
+	for i := 0; i < n/2; i++ {
+		worstOrder[i] = i + n/2 // unprotected first
+		worstOrder[i+n/2] = i
+	}
+	ys := YangStoyanovich{Points: DefaultPoints(0.1, 1)}
+	fairV, err := ys.RND(d, fairOrder, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worstV, err := ys.RND(d, worstOrder, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worstV <= fairV {
+		t.Errorf("rND should increase for worse orderings: fair %v, worst %v", fairV, worstV)
+	}
+}
+
+func TestYangStoyanovichErrorsAndEdges(t *testing.T) {
+	d := binaryDataset(t, []float64{1, 0})
+	ys := YangStoyanovich{}
+	if _, err := ys.RND(d, []int{0, 1}, 0); err == nil {
+		t.Error("no points: expected error")
+	}
+	ys = YangStoyanovich{Points: []float64{0.5}}
+	v, err := ys.RND(d, nil, 0)
+	if err != nil || v != 0 {
+		t.Errorf("empty order = (%v, %v), want 0", v, err)
+	}
+	// Degenerate population (everyone protected): zMax = 0 -> 0.
+	allProt := binaryDataset(t, []float64{1, 1, 1, 1})
+	v, err = ys.RND(allProt, ysOrder(4), 0)
+	if err != nil || v != 0 {
+		t.Errorf("degenerate population = (%v, %v), want 0", v, err)
+	}
+}

@@ -1,0 +1,85 @@
+// Package optimize provides the optimizers behind DCA: the Adam adaptive
+// step rule used by the refinement pass (Algorithm 2), plain SGD with
+// momentum, learning-rate ladders for the core pass (Algorithm 1), and a
+// from-scratch Nelder-Mead simplex minimizer used as the derivative-free
+// comparator the paper argues against (challenge #4: such methods re-rank
+// the data hundreds of times).
+package optimize
+
+import (
+	"fmt"
+	"math"
+)
+
+// Adam implements the Adam update rule of Kingma & Ba with bias-corrected
+// first and second moment estimates. DCA feeds it the (sample) disparity
+// vector in place of a gradient.
+type Adam struct {
+	// LR is the base step size alpha. Beta1, Beta2 and Eps follow the
+	// conventional defaults when zero (0.9, 0.999, 1e-8).
+	LR    float64
+	Beta1 float64
+	Beta2 float64
+	Eps   float64
+
+	t int
+	m []float64
+	v []float64
+}
+
+// NewAdam returns an Adam optimizer for dim parameters with step size lr
+// and standard defaults for the moment decay rates.
+func NewAdam(dim int, lr float64) *Adam {
+	return &Adam{
+		LR:    lr,
+		Beta1: 0.9,
+		Beta2: 0.999,
+		Eps:   1e-8,
+		m:     make([]float64, dim),
+		v:     make([]float64, dim),
+	}
+}
+
+// Step applies one Adam update to params in place using grad as the descent
+// direction (params ← params − step(grad)). It returns params. The lengths
+// of params and grad must equal the dimension the optimizer was created
+// with.
+func (a *Adam) Step(params, grad []float64) []float64 {
+	if len(params) != len(a.m) || len(grad) != len(a.m) {
+		panic(fmt.Sprintf("optimize: Adam dimension mismatch: params=%d grad=%d state=%d", len(params), len(grad), len(a.m)))
+	}
+	b1, b2 := a.Beta1, a.Beta2
+	if b1 == 0 {
+		b1 = 0.9
+	}
+	if b2 == 0 {
+		b2 = 0.999
+	}
+	eps := a.Eps
+	if eps == 0 {
+		eps = 1e-8
+	}
+	a.t++
+	c1 := 1 - math.Pow(b1, float64(a.t))
+	c2 := 1 - math.Pow(b2, float64(a.t))
+	for i := range params {
+		a.m[i] = b1*a.m[i] + (1-b1)*grad[i]
+		a.v[i] = b2*a.v[i] + (1-b2)*grad[i]*grad[i]
+		mHat := a.m[i] / c1
+		vHat := a.v[i] / c2
+		params[i] -= a.LR * mHat / (math.Sqrt(vHat) + eps)
+	}
+	return params
+}
+
+// Steps reports how many updates have been applied.
+func (a *Adam) Steps() int { return a.t }
+
+// Reset clears the moment estimates and the step counter.
+func (a *Adam) Reset() {
+	a.t = 0
+	for i := range a.m {
+		a.m[i] = 0
+		a.v[i] = 0
+	}
+}

@@ -1,0 +1,167 @@
+package optimize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NelderMeadResult reports the outcome of a simplex minimization.
+type NelderMeadResult struct {
+	X           []float64 // best point found
+	F           float64   // objective value at X
+	Evaluations int       // number of objective evaluations (= dataset re-rankings in the DCA comparison)
+	Iterations  int
+	Converged   bool
+}
+
+// NelderMeadOptions tunes the simplex search. Zero values select the
+// conventional coefficients.
+type NelderMeadOptions struct {
+	MaxIterations int     // default 400
+	Tolerance     float64 // simplex f-spread convergence threshold, default 1e-6
+	InitialStep   float64 // simplex edge length around the start point, default 1
+	// Lower bounds the parameters elementwise (projected simplex); nil
+	// disables. DCA's comparison uses a zero lower bound (bonuses >= 0).
+	Lower []float64
+}
+
+// NelderMead minimizes f starting from x0 with the downhill simplex method
+// (reflection/expansion/contraction/shrink). It exists as the
+// derivative-free baseline of the paper's challenge #4: every evaluation of
+// f re-ranks the dataset, and the ablation benchmark counts exactly how
+// many evaluations the simplex needs compared to DCA's fixed sample budget.
+func NelderMead(f func([]float64) float64, x0 []float64, opts NelderMeadOptions) NelderMeadResult {
+	n := len(x0)
+	if n == 0 {
+		return NelderMeadResult{X: nil, F: f(nil), Evaluations: 1, Converged: true}
+	}
+	maxIter := opts.MaxIterations
+	if maxIter == 0 {
+		maxIter = 400
+	}
+	tol := opts.Tolerance
+	if tol == 0 {
+		tol = 1e-6
+	}
+	step := opts.InitialStep
+	if step == 0 {
+		step = 1
+	}
+	project := func(x []float64) []float64 {
+		if opts.Lower != nil {
+			for i := range x {
+				if x[i] < opts.Lower[i] {
+					x[i] = opts.Lower[i]
+				}
+			}
+		}
+		return x
+	}
+
+	evals := 0
+	eval := func(x []float64) float64 {
+		evals++
+		return f(x)
+	}
+
+	// Build the initial simplex: x0 plus one perturbed vertex per axis.
+	simplex := make([][]float64, n+1)
+	fvals := make([]float64, n+1)
+	simplex[0] = project(append([]float64(nil), x0...))
+	fvals[0] = eval(simplex[0])
+	for i := 1; i <= n; i++ {
+		v := append([]float64(nil), x0...)
+		v[i-1] += step
+		simplex[i] = project(v)
+		fvals[i] = eval(simplex[i])
+	}
+
+	const (
+		alpha = 1.0 // reflection
+		gamma = 2.0 // expansion
+		rho   = 0.5 // contraction
+		sigma = 0.5 // shrink
+	)
+
+	order := make([]int, n+1)
+	centroid := make([]float64, n)
+	var iter int
+	for iter = 0; iter < maxIter; iter++ {
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return fvals[order[a]] < fvals[order[b]] })
+		best, worst := order[0], order[n]
+		if math.Abs(fvals[worst]-fvals[best]) < tol {
+			return NelderMeadResult{
+				X: append([]float64(nil), simplex[best]...), F: fvals[best],
+				Evaluations: evals, Iterations: iter, Converged: true,
+			}
+		}
+		// Centroid of all but the worst vertex.
+		for j := range centroid {
+			centroid[j] = 0
+		}
+		for _, i := range order[:n] {
+			for j := range centroid {
+				centroid[j] += simplex[i][j]
+			}
+		}
+		for j := range centroid {
+			centroid[j] /= float64(n)
+		}
+		combine := func(a float64) []float64 {
+			v := make([]float64, n)
+			for j := range v {
+				v[j] = centroid[j] + a*(centroid[j]-simplex[worst][j])
+			}
+			return project(v)
+		}
+		reflected := combine(alpha)
+		fr := eval(reflected)
+		switch {
+		case fr < fvals[best]:
+			expanded := combine(gamma)
+			fe := eval(expanded)
+			if fe < fr {
+				simplex[worst], fvals[worst] = expanded, fe
+			} else {
+				simplex[worst], fvals[worst] = reflected, fr
+			}
+		case fr < fvals[order[n-1]]:
+			simplex[worst], fvals[worst] = reflected, fr
+		default:
+			contracted := combine(-rho)
+			fc := eval(contracted)
+			if fc < fvals[worst] {
+				simplex[worst], fvals[worst] = contracted, fc
+			} else {
+				// Shrink toward the best vertex.
+				for _, i := range order[1:] {
+					for j := range simplex[i] {
+						simplex[i][j] = simplex[best][j] + sigma*(simplex[i][j]-simplex[best][j])
+					}
+					project(simplex[i])
+					fvals[i] = eval(simplex[i])
+				}
+			}
+		}
+	}
+	bi := 0
+	for i, v := range fvals {
+		if v < fvals[bi] {
+			bi = i
+		}
+		_ = v
+	}
+	return NelderMeadResult{
+		X: append([]float64(nil), simplex[bi]...), F: fvals[bi],
+		Evaluations: evals, Iterations: iter, Converged: false,
+	}
+}
+
+// String implements fmt.Stringer for quick experiment logs.
+func (r NelderMeadResult) String() string {
+	return fmt.Sprintf("f=%.6g evals=%d iters=%d converged=%t", r.F, r.Evaluations, r.Iterations, r.Converged)
+}

@@ -1,0 +1,183 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAdamFirstStepIsSignedLR(t *testing.T) {
+	// With bias correction, the very first Adam step has magnitude ≈ LR in
+	// the direction of the gradient sign, regardless of gradient scale.
+	for _, g := range []float64{0.001, 1, 1000} {
+		a := NewAdam(1, 0.1)
+		p := []float64{5}
+		a.Step(p, []float64{g})
+		if got := 5 - p[0]; math.Abs(got-0.1) > 1e-6 {
+			t.Errorf("first step with grad %v moved %v, want ≈ 0.1", g, got)
+		}
+	}
+	// Negative gradient moves the parameter up.
+	a := NewAdam(1, 0.1)
+	p := []float64{5}
+	a.Step(p, []float64{-3})
+	if p[0] <= 5 {
+		t.Errorf("negative gradient should increase the parameter, got %v", p[0])
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// f(x) = (x-3)^2, grad = 2(x-3).
+	a := NewAdam(1, 0.1)
+	p := []float64{-4}
+	for i := 0; i < 2000; i++ {
+		a.Step(p, []float64{2 * (p[0] - 3)})
+	}
+	if math.Abs(p[0]-3) > 0.05 {
+		t.Errorf("Adam ended at %v, want ≈ 3", p[0])
+	}
+	if a.Steps() != 2000 {
+		t.Errorf("Steps() = %d, want 2000", a.Steps())
+	}
+}
+
+func TestAdamPerParameterAdaptivity(t *testing.T) {
+	// Two dimensions with wildly different gradient scales should both make
+	// progress — the property the paper cites for choosing Adam.
+	a := NewAdam(2, 0.05)
+	p := []float64{10, 10}
+	for i := 0; i < 1500; i++ {
+		a.Step(p, []float64{1000 * (p[0] - 1), 0.001 * (p[1] - 1)})
+	}
+	if math.Abs(p[0]-1) > 0.1 {
+		t.Errorf("large-gradient dimension at %v, want ≈ 1", p[0])
+	}
+	if p[1] >= 10 {
+		t.Errorf("small-gradient dimension did not move: %v", p[1])
+	}
+}
+
+func TestAdamResetClearsState(t *testing.T) {
+	a := NewAdam(1, 0.1)
+	p := []float64{0}
+	a.Step(p, []float64{1})
+	a.Reset()
+	if a.Steps() != 0 {
+		t.Errorf("Steps after reset = %d", a.Steps())
+	}
+	// After reset the next step behaves like a first step again.
+	p2 := []float64{5}
+	a.Step(p2, []float64{1e6})
+	if got := 5 - p2[0]; math.Abs(got-0.1) > 1e-6 {
+		t.Errorf("post-reset first step = %v, want ≈ 0.1", got)
+	}
+}
+
+func TestAdamDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on dimension mismatch")
+		}
+	}()
+	NewAdam(2, 0.1).Step([]float64{1}, []float64{1})
+}
+
+func TestSGDStepAndMomentum(t *testing.T) {
+	s := NewSGD(1, 0.5, 0)
+	p := []float64{1}
+	s.Step(p, []float64{2})
+	if p[0] != 0 {
+		t.Errorf("plain SGD step = %v, want 0", p[0])
+	}
+	// With momentum, a repeated unit gradient accelerates.
+	m := NewSGD(1, 0.1, 0.9)
+	q := []float64{0}
+	m.Step(q, []float64{1})
+	first := -q[0]
+	m.Step(q, []float64{1})
+	second := -q[0] - first
+	if second <= first {
+		t.Errorf("momentum did not accelerate: first %v, second %v", first, second)
+	}
+}
+
+func TestLadderValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		l       Ladder
+		wantErr bool
+	}{
+		{"default", DefaultLadder(), false},
+		{"empty", Ladder{}, true},
+		{"zero rate", Ladder{{LR: 0, Steps: 10}}, true},
+		{"zero steps", Ladder{{LR: 1, Steps: 0}}, true},
+		{"non-decreasing", Ladder{{LR: 0.1, Steps: 1}, {LR: 1, Steps: 1}}, true},
+		{"equal rates", Ladder{{LR: 1, Steps: 1}, {LR: 1, Steps: 1}}, true},
+		{"single", Ladder{{LR: 0.5, Steps: 3}}, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.l.Validate()
+			if (err != nil) != tc.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %t", err, tc.wantErr)
+			}
+		})
+	}
+	if got := DefaultLadder().TotalSteps(); got != 200 {
+		t.Errorf("default ladder TotalSteps = %d, want 200", got)
+	}
+}
+
+func TestNelderMeadQuadraticBowl(t *testing.T) {
+	f := func(x []float64) float64 {
+		return (x[0]-2)*(x[0]-2) + (x[1]+1)*(x[1]+1)
+	}
+	res := NelderMead(f, []float64{10, 10}, NelderMeadOptions{MaxIterations: 500, Tolerance: 1e-10})
+	if !res.Converged {
+		t.Fatalf("did not converge: %v", res)
+	}
+	if math.Abs(res.X[0]-2) > 1e-3 || math.Abs(res.X[1]+1) > 1e-3 {
+		t.Errorf("minimum at %v, want (2, -1)", res.X)
+	}
+	if res.Evaluations <= 0 {
+		t.Error("evaluation counter not incremented")
+	}
+}
+
+func TestNelderMeadRespectsLowerBounds(t *testing.T) {
+	// Unconstrained minimum at (-3, -3); the zero lower bound must pin the
+	// solution at the origin.
+	f := func(x []float64) float64 {
+		return (x[0]+3)*(x[0]+3) + (x[1]+3)*(x[1]+3)
+	}
+	res := NelderMead(f, []float64{1, 1}, NelderMeadOptions{
+		MaxIterations: 500,
+		Lower:         []float64{0, 0},
+	})
+	for i, v := range res.X {
+		if v < 0 {
+			t.Errorf("X[%d] = %v violates lower bound", i, v)
+		}
+		if v > 0.05 {
+			t.Errorf("X[%d] = %v, want ≈ 0", i, v)
+		}
+	}
+}
+
+func TestNelderMeadRosenbrock(t *testing.T) {
+	f := func(x []float64) float64 {
+		a := 1 - x[0]
+		b := x[1] - x[0]*x[0]
+		return a*a + 100*b*b
+	}
+	res := NelderMead(f, []float64{-1.2, 1}, NelderMeadOptions{MaxIterations: 5000, Tolerance: 1e-12, InitialStep: 0.5})
+	if math.Abs(res.X[0]-1) > 0.01 || math.Abs(res.X[1]-1) > 0.01 {
+		t.Errorf("Rosenbrock minimum at %v, want (1, 1); %v", res.X, res)
+	}
+}
+
+func TestNelderMeadZeroDimensional(t *testing.T) {
+	res := NelderMead(func([]float64) float64 { return 42 }, nil, NelderMeadOptions{})
+	if res.F != 42 || !res.Converged {
+		t.Errorf("zero-dim result = %+v", res)
+	}
+}

@@ -1,0 +1,77 @@
+package optimize
+
+import "fmt"
+
+// SGD is plain stochastic gradient descent with optional momentum. The core
+// DCA pass (Algorithm 1) is SGD with zero momentum and a fixed step per
+// ladder stage; the momentum variant is provided for ablations.
+type SGD struct {
+	LR       float64
+	Momentum float64
+
+	vel []float64
+}
+
+// NewSGD returns an SGD optimizer for dim parameters.
+func NewSGD(dim int, lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, vel: make([]float64, dim)}
+}
+
+// Step applies params ← params − lr*grad (with momentum when configured)
+// in place and returns params.
+func (s *SGD) Step(params, grad []float64) []float64 {
+	if len(params) != len(s.vel) || len(grad) != len(s.vel) {
+		panic(fmt.Sprintf("optimize: SGD dimension mismatch: params=%d grad=%d state=%d", len(params), len(grad), len(s.vel)))
+	}
+	for i := range params {
+		s.vel[i] = s.Momentum*s.vel[i] + s.LR*grad[i]
+		params[i] -= s.vel[i]
+	}
+	return params
+}
+
+// Stage is one rung of a learning-rate ladder: Steps updates at rate LR.
+type Stage struct {
+	LR    float64
+	Steps int
+}
+
+// Ladder is the decreasing sequence of learning rates of Algorithm 1. The
+// paper's default is {1.0 × 100 steps, 0.1 × 100 steps}.
+type Ladder []Stage
+
+// DefaultLadder returns the paper's empirical setting.
+func DefaultLadder() Ladder {
+	return Ladder{{LR: 1.0, Steps: 100}, {LR: 0.1, Steps: 100}}
+}
+
+// TotalSteps returns the number of updates the ladder performs.
+func (l Ladder) TotalSteps() int {
+	var n int
+	for _, s := range l {
+		n += s.Steps
+	}
+	return n
+}
+
+// Validate checks that rates are positive and decreasing and step counts
+// positive.
+func (l Ladder) Validate() error {
+	if len(l) == 0 {
+		return fmt.Errorf("optimize: empty learning-rate ladder")
+	}
+	prev := 0.0
+	for i, s := range l {
+		if s.LR <= 0 {
+			return fmt.Errorf("optimize: ladder stage %d has rate %v", i, s.LR)
+		}
+		if s.Steps <= 0 {
+			return fmt.Errorf("optimize: ladder stage %d has %d steps", i, s.Steps)
+		}
+		if i > 0 && s.LR >= prev {
+			return fmt.Errorf("optimize: ladder rates must decrease: stage %d has %v after %v", i, s.LR, prev)
+		}
+		prev = s.LR
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+// Package report renders experiment results as aligned text tables and
+// tab-separated series, the formats cmd/experiments uses to print the
+// paper's tables and figure data.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table is a simple header + rows text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddFloatRow appends a label cell followed by formatted floats.
+func (t *Table) AddFloatRow(label string, vals ...float64) {
+	cells := make([]string, 0, len(vals)+1)
+	cells = append(cells, label)
+	for _, v := range vals {
+		cells = append(cells, Float(v))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n%s\n", t.Title, strings.Repeat("-", len(t.Title))); err != nil {
+			return err
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if len(t.Headers) > 0 {
+		fmt.Fprintln(tw, strings.Join(t.Headers, "\t"))
+	}
+	for _, row := range t.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	return tw.Flush()
+}
+
+// RenderTSV writes the table as tab-separated values without the title
+// underline decoration, for piping into plotting tools.
+func (t *Table) RenderTSV(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	if len(t.Headers) > 0 {
+		if _, err := fmt.Fprintln(w, strings.Join(t.Headers, "\t")); err != nil {
+			return err
+		}
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, strings.Join(row, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series is figure data: a shared X axis and one or more named Y series.
+type Series struct {
+	Title string
+	XName string
+	X     []float64
+	Names []string
+	Y     [][]float64 // Y[s][i] = series s at X[i]
+}
+
+// Add appends a named series; its length must match X.
+func (s *Series) Add(name string, ys []float64) {
+	s.Names = append(s.Names, name)
+	s.Y = append(s.Y, ys)
+}
+
+// Render writes the series as an aligned matrix with one row per X value,
+// the form the paper's figures plot.
+func (s *Series) Render(w io.Writer) error {
+	if s.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n%s\n", s.Title, strings.Repeat("-", len(s.Title))); err != nil {
+			return err
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "%s\t%s\n", s.XName, strings.Join(s.Names, "\t"))
+	for i, x := range s.X {
+		cells := make([]string, 0, len(s.Y)+1)
+		cells = append(cells, Float(x))
+		for _, ys := range s.Y {
+			if i < len(ys) {
+				cells = append(cells, Float(ys[i]))
+			} else {
+				cells = append(cells, "-")
+			}
+		}
+		fmt.Fprintln(tw, strings.Join(cells, "\t"))
+	}
+	return tw.Flush()
+}
+
+// RenderTSV writes the series as tab-separated values, full float
+// precision, for piping into plotting tools.
+func (s *Series) RenderTSV(w io.Writer) error {
+	if s.Title != "" {
+		if _, err := fmt.Fprintf(w, "# %s\n", s.Title); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s\t%s\n", s.XName, strings.Join(s.Names, "\t")); err != nil {
+		return err
+	}
+	for i, x := range s.X {
+		cells := make([]string, 0, len(s.Y)+1)
+		cells = append(cells, strconv.FormatFloat(x, 'g', -1, 64))
+		for _, ys := range s.Y {
+			if i < len(ys) {
+				cells = append(cells, strconv.FormatFloat(ys[i], 'g', -1, 64))
+			} else {
+				cells = append(cells, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TSVRenderer is implemented by results that can emit machine-readable
+// tab-separated output in addition to the human-readable form.
+type TSVRenderer interface {
+	RenderTSV(w io.Writer) error
+}
+
+// Float6 formats a float with six decimal places (for tiny magnitudes
+// such as DDP values), trimming trailing zeros.
+func Float6(v float64) string {
+	s := strconv.FormatFloat(v, 'f', 6, 64)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" || s == "-0" {
+		return "0"
+	}
+	return s
+}
+
+// Float formats a float compactly with three decimal places, trimming
+// trailing zeros on round values.
+func Float(v float64) string {
+	s := strconv.FormatFloat(v, 'f', 3, 64)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" || s == "-0" {
+		return "0"
+	}
+	return s
+}

@@ -1,0 +1,98 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		Title:   "Demo",
+		Headers: []string{"", "a", "b"},
+	}
+	tbl.AddFloatRow("row1", 1.5, -0.25)
+	tbl.AddRow("row2", "x", "y")
+	var sb strings.Builder
+	if err := tbl.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Demo", "----", "row1", "1.5", "-0.25", "row2", "x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSeriesRender(t *testing.T) {
+	s := &Series{Title: "Fig", XName: "k", X: []float64{0.05, 0.1}}
+	s.Add("norm", []float64{0.3, 0.2})
+	s.Add("short", []float64{0.9}) // shorter series renders a dash
+	var sb strings.Builder
+	if err := s.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Fig", "k", "norm", "short", "0.05", "0.3", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title + underline + header + 2 data rows.
+	if len(lines) != 5 {
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableRenderTSV(t *testing.T) {
+	tbl := &Table{Title: "T", Headers: []string{"a", "b"}}
+	tbl.AddRow("1", "2")
+	var sb strings.Builder
+	if err := tbl.RenderTSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "# T\na\tb\n1\t2\n"
+	if sb.String() != want {
+		t.Errorf("TSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestSeriesRenderTSV(t *testing.T) {
+	s := &Series{Title: "S", XName: "x", X: []float64{0.5}}
+	s.Add("y", []float64{0.125})
+	s.Add("short", nil)
+	var sb strings.Builder
+	if err := s.RenderTSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "# S\nx\ty\tshort\n0.5\t0.125\t\n"
+	if sb.String() != want {
+		t.Errorf("TSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{1, "1"},
+		{-0.25, "-0.25"},
+		{0.1234, "0.123"},
+		{-0.0001, "0"}, // rounds to -0.000 -> trims to 0
+		{12.5, "12.5"},
+	}
+	for _, tc := range cases {
+		if got := Float(tc.in); got != tc.want {
+			t.Errorf("Float(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+	if got := Float6(0.0000123); got != "0.000012" {
+		t.Errorf("Float6 = %q", got)
+	}
+	if got := Float6(0.00899); got != "0.00899" {
+		t.Errorf("Float6 = %q", got)
+	}
+}

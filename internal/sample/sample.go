@@ -1,0 +1,94 @@
+// Package sample provides the deterministic sampling machinery behind DCA.
+//
+// Algorithm 1 of the paper draws "a random sample of sample size from O" at
+// every descent step; Algorithm 2 consumes "the next sample in O",
+// i.e. walks the dataset in randomized epochs. Both are provided here with
+// explicit seeding so every experiment in the repository is reproducible.
+package sample
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Sampler draws index samples from a population of fixed size n. It is not
+// safe for concurrent use; create one per goroutine.
+type Sampler struct {
+	n   int
+	rng *rand.Rand
+
+	// epoch state for Next.
+	perm []int
+	pos  int
+}
+
+// New returns a sampler over the population {0, ..., n-1} seeded with seed.
+func New(n int, seed int64) *Sampler {
+	return &Sampler{n: n, rng: rand.New(rand.NewSource(seed))}
+}
+
+// N reports the population size.
+func (s *Sampler) N() int { return s.n }
+
+// Rand exposes the underlying generator for callers that need auxiliary
+// randomness (e.g. random bonus initialization) tied to the same seed.
+func (s *Sampler) Rand() *rand.Rand { return s.rng }
+
+// Uniform returns k distinct indices drawn uniformly at random, using a
+// partial Fisher-Yates shuffle in O(k) extra space. It panics if k > n.
+func (s *Sampler) Uniform(k int) []int {
+	if k > s.n {
+		panic(fmt.Sprintf("sample: requested %d of %d", k, s.n))
+	}
+	// Partial shuffle over a virtual identity permutation: remember only the
+	// displaced entries.
+	displaced := make(map[int]int, 2*k)
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		j := i + s.rng.Intn(s.n-i)
+		vj, ok := displaced[j]
+		if !ok {
+			vj = j
+		}
+		vi, ok := displaced[i]
+		if !ok {
+			vi = i
+		}
+		out[i] = vj
+		displaced[j] = vi
+		displaced[i] = vj
+	}
+	return out
+}
+
+// WithReplacement returns k indices drawn independently and uniformly.
+func (s *Sampler) WithReplacement(k int) []int {
+	out := make([]int, k)
+	for i := range out {
+		out[i] = s.rng.Intn(s.n)
+	}
+	return out
+}
+
+// Next returns the next k indices from the current randomized epoch,
+// reshuffling when the epoch is exhausted. This is the "next sample in O"
+// iterator of Algorithm 2: over an epoch every object is visited exactly
+// once, which lowers the variance of the refinement steps relative to
+// independent sampling. It panics if k > n.
+func (s *Sampler) Next(k int) []int {
+	if k > s.n {
+		panic(fmt.Sprintf("sample: requested %d of %d", k, s.n))
+	}
+	if s.perm == nil {
+		s.perm = s.rng.Perm(s.n)
+	}
+	if s.pos+k > s.n {
+		// Reshuffle and restart the epoch; partial remainders are dropped so
+		// every sample has exactly k elements.
+		s.rng.Shuffle(s.n, func(i, j int) { s.perm[i], s.perm[j] = s.perm[j], s.perm[i] })
+		s.pos = 0
+	}
+	out := s.perm[s.pos : s.pos+k]
+	s.pos += k
+	return out
+}

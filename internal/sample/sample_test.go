@@ -1,0 +1,146 @@
+package sample
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformDistinctAndInRange(t *testing.T) {
+	f := func(seed int64) bool {
+		s := New(100, seed)
+		idx := s.Uniform(30)
+		if len(idx) != 30 {
+			return false
+		}
+		seen := make(map[int]bool)
+		for _, i := range idx {
+			if i < 0 || i >= 100 || seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUniformFullPopulation(t *testing.T) {
+	s := New(10, 1)
+	idx := s.Uniform(10)
+	seen := make(map[int]bool)
+	for _, i := range idx {
+		seen[i] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("Uniform(n) covered %d of 10", len(seen))
+	}
+}
+
+func TestUniformIsApproximatelyUniform(t *testing.T) {
+	s := New(10, 7)
+	counts := make([]int, 10)
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		for _, v := range s.Uniform(3) {
+			counts[v]++
+		}
+	}
+	// Every index should be hit about trials*3/10 = 6000 times.
+	for i, c := range counts {
+		if c < 5500 || c > 6500 {
+			t.Errorf("index %d drawn %d times, want ≈ 6000", i, c)
+		}
+	}
+}
+
+func TestUniformPanicsWhenOversampling(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic when k > n")
+		}
+	}()
+	New(5, 1).Uniform(6)
+}
+
+func TestWithReplacement(t *testing.T) {
+	s := New(3, 2)
+	idx := s.WithReplacement(1000)
+	if len(idx) != 1000 {
+		t.Fatalf("got %d indices", len(idx))
+	}
+	for _, i := range idx {
+		if i < 0 || i >= 3 {
+			t.Fatalf("index %d out of range", i)
+		}
+	}
+}
+
+func TestNextCoversEpoch(t *testing.T) {
+	s := New(12, 3)
+	seen := make(map[int]int)
+	// Exactly one epoch: 4 samples of 3.
+	for b := 0; b < 4; b++ {
+		for _, i := range s.Next(3) {
+			seen[i]++
+		}
+	}
+	if len(seen) != 12 {
+		t.Fatalf("epoch covered %d of 12", len(seen))
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Errorf("index %d visited %d times within one epoch", i, c)
+		}
+	}
+}
+
+func TestNextReshufflesOnPartialRemainder(t *testing.T) {
+	s := New(10, 4)
+	// Samples of 3: positions 0-2, 3-5, 6-8, then a reshuffle (remainder 1
+	// is dropped). No panic, always size 3.
+	for b := 0; b < 20; b++ {
+		if got := s.Next(3); len(got) != 3 {
+			t.Fatalf("sample %d has size %d", b, len(got))
+		}
+	}
+}
+
+func TestDeterminismBySeed(t *testing.T) {
+	a := New(50, 9)
+	b := New(50, 9)
+	for i := 0; i < 5; i++ {
+		x := a.Uniform(7)
+		y := b.Uniform(7)
+		for j := range x {
+			if x[j] != y[j] {
+				t.Fatalf("same seed diverged at draw %d: %v vs %v", i, x, y)
+			}
+		}
+	}
+	c := New(50, 10)
+	diverged := false
+	for i := 0; i < 5 && !diverged; i++ {
+		x := a.Uniform(7)
+		z := c.Uniform(7)
+		for j := range x {
+			if x[j] != z[j] {
+				diverged = true
+				break
+			}
+		}
+	}
+	if !diverged {
+		t.Error("different seeds produced identical draws")
+	}
+}
+
+func TestNextPanicsWhenOversampling(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic when k > n")
+		}
+	}()
+	New(2, 1).Next(3)
+}

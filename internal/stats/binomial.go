@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Binomial is the distribution of the number of successes in N independent
+// Bernoulli(P) trials. It backs the FA*IR mtable construction (the minimum
+// number of protected candidates required in every ranking prefix).
+type Binomial struct {
+	N int
+	P float64
+}
+
+// PMF returns P(X = k). Computation goes through log-gamma so it is stable
+// for large N.
+func (b Binomial) PMF(k int) float64 {
+	if k < 0 || k > b.N {
+		return 0
+	}
+	switch b.P {
+	case 0:
+		if k == 0 {
+			return 1
+		}
+		return 0
+	case 1:
+		if k == b.N {
+			return 1
+		}
+		return 0
+	}
+	return math.Exp(b.logPMF(k))
+}
+
+func (b Binomial) logPMF(k int) float64 {
+	n := float64(b.N)
+	x := float64(k)
+	lg := func(v float64) float64 {
+		r, _ := math.Lgamma(v)
+		return r
+	}
+	return lg(n+1) - lg(x+1) - lg(n-x+1) + x*math.Log(b.P) + (n-x)*math.Log1p(-b.P)
+}
+
+// CDF returns P(X <= k) by direct summation from the smaller tail.
+func (b Binomial) CDF(k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	if k >= b.N {
+		return 1
+	}
+	// Sum the lighter tail for accuracy.
+	mean := float64(b.N) * b.P
+	if float64(k) <= mean {
+		var s float64
+		for i := 0; i <= k; i++ {
+			s += b.PMF(i)
+		}
+		return math.Min(s, 1)
+	}
+	var s float64
+	for i := k + 1; i <= b.N; i++ {
+		s += b.PMF(i)
+	}
+	return math.Max(0, 1-s)
+}
+
+// Quantile returns the smallest k with CDF(k) >= p. This is the inverse CDF
+// used to derive FA*IR's mtable: with significance alpha, the minimum
+// protected count in a prefix of length N is Quantile(alpha).
+func (b Binomial) Quantile(p float64) (int, error) {
+	if math.IsNaN(p) || p < 0 || p > 1 {
+		return 0, fmt.Errorf("stats: binomial quantile probability %v outside [0,1]", p)
+	}
+	cum := 0.0
+	for k := 0; k <= b.N; k++ {
+		cum += b.PMF(k)
+		if cum >= p {
+			return k, nil
+		}
+	}
+	return b.N, nil
+}
+
+// Mean returns N*P.
+func (b Binomial) Mean() float64 { return float64(b.N) * b.P }
+
+// Variance returns N*P*(1-P).
+func (b Binomial) Variance() float64 { return float64(b.N) * b.P * (1 - b.P) }

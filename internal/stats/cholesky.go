@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Cholesky returns the lower-triangular factor L of the symmetric
+// positive-definite matrix a (row major, n x n) such that L L^T = a. The
+// synthetic data generators use it to draw correlated latent traits
+// (academic ability, poverty exposure, language status).
+func Cholesky(a [][]float64) ([][]float64, error) {
+	n := len(a)
+	for i, row := range a {
+		if len(row) != n {
+			return nil, fmt.Errorf("stats: cholesky row %d has %d columns, want %d", i, len(row), n)
+		}
+	}
+	l := make([][]float64, n)
+	for i := range l {
+		l[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a[i][j]
+			for k := 0; k < j; k++ {
+				sum -= l[i][k] * l[j][k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, fmt.Errorf("stats: cholesky pivot %d is %v; matrix not positive definite", i, sum)
+				}
+				l[i][j] = math.Sqrt(sum)
+			} else {
+				l[i][j] = sum / l[j][j]
+			}
+		}
+	}
+	return l, nil
+}
+
+// CorrelatedNormals draws standard normal vectors whose correlation matrix
+// is corr. The zero value is not usable; construct with NewCorrelatedNormals.
+type CorrelatedNormals struct {
+	l [][]float64
+	z []float64
+}
+
+// NewCorrelatedNormals factors the correlation matrix once so that each
+// Sample costs O(d^2).
+func NewCorrelatedNormals(corr [][]float64) (*CorrelatedNormals, error) {
+	l, err := Cholesky(corr)
+	if err != nil {
+		return nil, err
+	}
+	return &CorrelatedNormals{l: l, z: make([]float64, len(corr))}, nil
+}
+
+// Sample fills dst (length d) with one correlated standard normal draw and
+// returns it. Not safe for concurrent use.
+func (c *CorrelatedNormals) Sample(rng *rand.Rand, dst []float64) []float64 {
+	d := len(c.l)
+	for i := 0; i < d; i++ {
+		c.z[i] = rng.NormFloat64()
+	}
+	for i := 0; i < d; i++ {
+		var s float64
+		for k := 0; k <= i; k++ {
+			s += c.l[i][k] * c.z[k]
+		}
+		dst[i] = s
+	}
+	return dst
+}

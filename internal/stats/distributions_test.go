@@ -1,0 +1,293 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	n := StdNormal
+	tests := []struct {
+		x, want float64
+	}{
+		{0, 0.5},
+		{1.959963985, 0.975},
+		{-1.959963985, 0.025},
+		{1, 0.8413447461},
+		{-3, 0.0013498980},
+	}
+	for _, tc := range tests {
+		if got := n.CDF(tc.x); !almostEqual(got, tc.want, 1e-8) {
+			t.Errorf("CDF(%v) = %.10f, want %.10f", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	n := Normal{Mu: 2, Sigma: 3}
+	for p := 0.001; p < 1; p += 0.013 {
+		x := n.Quantile(p)
+		if got := n.CDF(x); !almostEqual(got, p, 1e-9) {
+			t.Errorf("CDF(Quantile(%v)) = %v", p, got)
+		}
+	}
+	if !math.IsInf(n.Quantile(0), -1) || !math.IsInf(n.Quantile(1), 1) {
+		t.Error("Quantile(0)/Quantile(1) should be infinite")
+	}
+	if !math.IsNaN(n.Quantile(-0.1)) || !math.IsNaN(n.Quantile(1.1)) {
+		t.Error("Quantile outside [0,1] should be NaN")
+	}
+}
+
+func TestNormalPDFIntegratesToCDF(t *testing.T) {
+	n := Normal{Mu: -1, Sigma: 0.5}
+	// Trapezoidal integration of the PDF from far left to 0.
+	const steps = 20000
+	lo, hi := -6.0, 0.0
+	h := (hi - lo) / steps
+	var area float64
+	for i := 0; i <= steps; i++ {
+		w := 1.0
+		if i == 0 || i == steps {
+			w = 0.5
+		}
+		area += w * n.PDF(lo+float64(i)*h)
+	}
+	area *= h
+	if want := n.CDF(hi) - n.CDF(lo); !almostEqual(area, want, 1e-6) {
+		t.Errorf("integral = %v, CDF difference = %v", area, want)
+	}
+}
+
+func TestNormalSampleMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := Normal{Mu: 10, Sigma: 2}
+	xs := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = n.Sample(rng)
+	}
+	m, v := MeanVar(xs)
+	if !almostEqual(m, 10, 0.05) {
+		t.Errorf("sample mean = %v, want ≈ 10", m)
+	}
+	if !almostEqual(math.Sqrt(v), 2, 0.05) {
+		t.Errorf("sample sd = %v, want ≈ 2", math.Sqrt(v))
+	}
+}
+
+func TestBinomialPMFSumsToOne(t *testing.T) {
+	for _, b := range []Binomial{{N: 10, P: 0.3}, {N: 50, P: 0.07}, {N: 1, P: 0.99}, {N: 200, P: 0.5}} {
+		var sum float64
+		for k := 0; k <= b.N; k++ {
+			sum += b.PMF(k)
+		}
+		if !almostEqual(sum, 1, 1e-9) {
+			t.Errorf("PMF(%+v) sums to %v", b, sum)
+		}
+	}
+}
+
+func TestBinomialDegenerate(t *testing.T) {
+	b := Binomial{N: 5, P: 0}
+	if b.PMF(0) != 1 || b.PMF(1) != 0 {
+		t.Error("P=0 should concentrate at k=0")
+	}
+	b = Binomial{N: 5, P: 1}
+	if b.PMF(5) != 1 || b.PMF(4) != 0 {
+		t.Error("P=1 should concentrate at k=N")
+	}
+	if b.PMF(-1) != 0 || b.PMF(6) != 0 {
+		t.Error("PMF outside support should be 0")
+	}
+}
+
+func TestBinomialCDFMonotoneAndQuantileInverse(t *testing.T) {
+	b := Binomial{N: 40, P: 0.22}
+	prev := -1.0
+	for k := -1; k <= b.N; k++ {
+		c := b.CDF(k)
+		if c < prev-1e-12 {
+			t.Fatalf("CDF not monotone at %d: %v < %v", k, c, prev)
+		}
+		prev = c
+	}
+	if b.CDF(b.N) != 1 {
+		t.Errorf("CDF(N) = %v, want 1", b.CDF(b.N))
+	}
+	for _, alpha := range []float64{0.01, 0.1, 0.5, 0.9} {
+		q, err := b.Quantile(alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.CDF(q) < alpha {
+			t.Errorf("CDF(Quantile(%v)) = %v < %v", alpha, b.CDF(q), alpha)
+		}
+		if q > 0 && b.CDF(q-1) >= alpha {
+			t.Errorf("Quantile(%v) = %d is not minimal", alpha, q)
+		}
+	}
+	if _, err := b.Quantile(-0.5); err == nil {
+		t.Error("Quantile(-0.5): expected error")
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	b := Binomial{N: 30, P: 0.4}
+	var mean, second float64
+	for k := 0; k <= b.N; k++ {
+		p := b.PMF(k)
+		mean += float64(k) * p
+		second += float64(k) * float64(k) * p
+	}
+	if !almostEqual(mean, b.Mean(), 1e-9) {
+		t.Errorf("empirical mean %v vs Mean() %v", mean, b.Mean())
+	}
+	if v := second - mean*mean; !almostEqual(v, b.Variance(), 1e-8) {
+		t.Errorf("empirical variance %v vs Variance() %v", v, b.Variance())
+	}
+}
+
+func TestMultinomialCDFMatchesBinomialWhenTwoGroups(t *testing.T) {
+	// With two categories, P(X_1 <= c) must equal the binomial CDF.
+	m := Multinomial{N: 25, P: []float64{0.3, 0.7}}
+	b := Binomial{N: 25, P: 0.3}
+	for c := 0; c <= 25; c += 3 {
+		got, err := m.CDF([]int{c, 25})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := b.CDF(c); !almostEqual(got, want, 1e-9) {
+			t.Errorf("CDF([%d, n]) = %v, want binomial %v", c, got, want)
+		}
+	}
+}
+
+func TestMultinomialCDFAgainstMonteCarlo(t *testing.T) {
+	m := Multinomial{N: 30, P: []float64{0.5, 0.3, 0.15, 0.05}}
+	bounds := []int{30, 10, 5, 2}
+	exact, err := m.CDF(bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	const trials = 200000
+	hits := 0
+	counts := make([]int, 4)
+	for tr := 0; tr < trials; tr++ {
+		for i := range counts {
+			counts[i] = 0
+		}
+		for i := 0; i < m.N; i++ {
+			u := rng.Float64()
+			switch {
+			case u < 0.5:
+				counts[0]++
+			case u < 0.8:
+				counts[1]++
+			case u < 0.95:
+				counts[2]++
+			default:
+				counts[3]++
+			}
+		}
+		ok := true
+		for g, c := range counts {
+			if c > bounds[g] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			hits++
+		}
+	}
+	mc := float64(hits) / trials
+	if !almostEqual(exact, mc, 0.01) {
+		t.Errorf("exact CDF %v vs Monte Carlo %v", exact, mc)
+	}
+}
+
+func TestMultinomialCDFEdges(t *testing.T) {
+	m := Multinomial{N: 10, P: []float64{0.6, 0.4}}
+	if p, err := m.CDF([]int{10, 10}); err != nil || !almostEqual(p, 1, 1e-12) {
+		t.Errorf("unconstrained CDF = %v, %v; want 1", p, err)
+	}
+	if p, err := m.CDF([]int{-1, 10}); err != nil || p != 0 {
+		t.Errorf("negative bound CDF = %v, %v; want 0", p, err)
+	}
+	if _, err := m.CDF([]int{1}); err == nil {
+		t.Error("bound length mismatch: expected error")
+	}
+	bad := Multinomial{N: 10, P: []float64{0.6, 0.6}}
+	if _, err := bad.CDF([]int{5, 5}); err == nil {
+		t.Error("probabilities not summing to 1: expected error")
+	}
+}
+
+func TestMultinomialPMF(t *testing.T) {
+	m := Multinomial{N: 4, P: []float64{0.5, 0.5}}
+	p, err := m.PMF([]int{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C(4,2) * 0.5^4 = 6/16
+	if !almostEqual(p, 0.375, 1e-12) {
+		t.Errorf("PMF([2 2]) = %v, want 0.375", p)
+	}
+	if p, _ := m.PMF([]int{1, 2}); p != 0 {
+		t.Errorf("PMF with wrong total = %v, want 0", p)
+	}
+	if p, _ := m.PMF([]int{-1, 5}); p != 0 {
+		t.Errorf("PMF with negative count = %v, want 0", p)
+	}
+}
+
+// The multinomial PMF must sum to one over the full simplex.
+func TestMultinomialPMFSumsToOne(t *testing.T) {
+	m := Multinomial{N: 12, P: []float64{0.2, 0.5, 0.3}}
+	var sum float64
+	for a := 0; a <= m.N; a++ {
+		for b := 0; a+b <= m.N; b++ {
+			p, err := m.PMF([]int{a, b, m.N - a - b})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += p
+		}
+	}
+	if !almostEqual(sum, 1, 1e-9) {
+		t.Errorf("PMF sums to %v", sum)
+	}
+}
+
+// CDF must be monotone in every bound.
+func TestMultinomialCDFMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := []float64{0.4, 0.35, 0.25}
+		n := 5 + rng.Intn(20)
+		m := Multinomial{N: n, P: p}
+		c := []int{rng.Intn(n + 1), rng.Intn(n + 1), rng.Intn(n + 1)}
+		base, err := m.CDF(c)
+		if err != nil {
+			return false
+		}
+		for g := range c {
+			c2 := append([]int(nil), c...)
+			c2[g]++
+			higher, err := m.CDF(c2)
+			if err != nil {
+				return false
+			}
+			if higher < base-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

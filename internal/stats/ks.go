@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KSTwoSample returns the two-sample Kolmogorov-Smirnov statistic D (the
+// supremum distance between the empirical CDFs of a and b) and the
+// asymptotic p-value for the hypothesis that both samples come from the
+// same distribution. The synthetic-data tests use it to check that two
+// cohorts drawn from the same generator configuration are statistically
+// indistinguishable.
+func KSTwoSample(a, b []float64) (d, pvalue float64) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, 1
+	}
+	sa := append([]float64(nil), a...)
+	sb := append([]float64(nil), b...)
+	sort.Float64s(sa)
+	sort.Float64s(sb)
+	na, nb := len(sa), len(sb)
+	var i, j int
+	for i < na && j < nb {
+		x := math.Min(sa[i], sb[j])
+		for i < na && sa[i] <= x {
+			i++
+		}
+		for j < nb && sb[j] <= x {
+			j++
+		}
+		diff := math.Abs(float64(i)/float64(na) - float64(j)/float64(nb))
+		if diff > d {
+			d = diff
+		}
+	}
+	ne := float64(na) * float64(nb) / float64(na+nb)
+	lambda := (math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d
+	return d, ksQ(lambda)
+}
+
+// ksQ is the Kolmogorov distribution survival function
+// Q(lambda) = 2 * sum_{j>=1} (-1)^{j-1} exp(-2 j^2 lambda^2).
+func ksQ(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	var sum float64
+	sign := 1.0
+	for j := 1; j <= 100; j++ {
+		term := sign * math.Exp(-2*float64(j*j)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	p := 2 * sum
+	return Clamp(p, 0, 1)
+}
+
+// Histogram counts xs into bins equal-width bins over [lo, hi]. Values
+// outside the range are clamped into the first/last bin. It returns the bin
+// counts and the bin width.
+func Histogram(xs []float64, lo, hi float64, bins int) (counts []int, width float64) {
+	counts = make([]int, bins)
+	if bins == 0 || hi <= lo {
+		return counts, 0
+	}
+	width = (hi - lo) / float64(bins)
+	for _, x := range xs {
+		b := int((x - lo) / width)
+		if b < 0 {
+			b = 0
+		}
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	return counts, width
+}

@@ -1,0 +1,176 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCholeskyReconstructs(t *testing.T) {
+	a := [][]float64{
+		{4, 2, 0.6},
+		{2, 3, 0.4},
+		{0.6, 0.4, 2},
+	}
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(a)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += l[i][k] * l[j][k]
+			}
+			if !almostEqual(s, a[i][j], 1e-9) {
+				t.Errorf("(LL^T)[%d][%d] = %v, want %v", i, j, s, a[i][j])
+			}
+		}
+	}
+	// Upper triangle must be zero.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if l[i][j] != 0 {
+				t.Errorf("L[%d][%d] = %v, want 0", i, j, l[i][j])
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsNonPD(t *testing.T) {
+	if _, err := Cholesky([][]float64{{1, 2}, {2, 1}}); err == nil {
+		t.Error("indefinite matrix: expected error")
+	}
+	if _, err := Cholesky([][]float64{{1, 0}, {0}}); err == nil {
+		t.Error("ragged matrix: expected error")
+	}
+	if _, err := Cholesky([][]float64{{0}}); err == nil {
+		t.Error("zero pivot: expected error")
+	}
+}
+
+func TestCorrelatedNormalsAchieveTargetCorrelation(t *testing.T) {
+	corr := [][]float64{
+		{1, 0.7},
+		{0.7, 1},
+	}
+	cn, err := NewCorrelatedNormals(corr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	const n = 40000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	v := make([]float64, 2)
+	for i := 0; i < n; i++ {
+		cn.Sample(rng, v)
+		xs[i], ys[i] = v[0], v[1]
+	}
+	if r := Pearson(xs, ys); !almostEqual(r, 0.7, 0.02) {
+		t.Errorf("sample correlation = %v, want ≈ 0.7", r)
+	}
+	mx, vx := MeanVar(xs)
+	if !almostEqual(mx, 0, 0.03) || !almostEqual(vx, 1, 0.05) {
+		t.Errorf("marginal not standard normal: mean=%v var=%v", mx, vx)
+	}
+}
+
+func TestPearsonKnownCases(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if r := Pearson(xs, xs); !almostEqual(r, 1, 1e-12) {
+		t.Errorf("self correlation = %v, want 1", r)
+	}
+	neg := []float64{5, 4, 3, 2, 1}
+	if r := Pearson(xs, neg); !almostEqual(r, -1, 1e-12) {
+		t.Errorf("reversed correlation = %v, want -1", r)
+	}
+	if r := Pearson(xs, []float64{2, 2, 2, 2, 2}); r != 0 {
+		t.Errorf("zero-variance correlation = %v, want 0", r)
+	}
+	if r := Pearson(xs, xs[:3]); r != 0 {
+		t.Errorf("length mismatch correlation = %v, want 0", r)
+	}
+}
+
+func TestSpearmanMonotoneTransformInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	xs := make([]float64, 500)
+	ys := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		ys[i] = math.Exp(xs[i]) // strictly monotone transform
+	}
+	if r := Spearman(xs, ys); !almostEqual(r, 1, 1e-12) {
+		t.Errorf("Spearman of monotone transform = %v, want 1", r)
+	}
+}
+
+func TestRanksWithTies(t *testing.T) {
+	got := Ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestKSSameDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	a := make([]float64, 3000)
+	b := make([]float64, 3000)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	d, p := KSTwoSample(a, b)
+	if d > 0.05 {
+		t.Errorf("KS statistic %v too large for same distribution", d)
+	}
+	if p < 0.01 {
+		t.Errorf("KS p-value %v rejects same distribution", p)
+	}
+}
+
+func TestKSDifferentDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	a := make([]float64, 2000)
+	b := make([]float64, 2000)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64() + 0.5
+	}
+	d, p := KSTwoSample(a, b)
+	if d < 0.1 {
+		t.Errorf("KS statistic %v too small for shifted distributions", d)
+	}
+	if p > 1e-6 {
+		t.Errorf("KS p-value %v fails to reject shifted distributions", p)
+	}
+}
+
+func TestKSEmptyInputs(t *testing.T) {
+	if d, p := KSTwoSample(nil, []float64{1}); d != 0 || p != 1 {
+		t.Errorf("KS with empty input = (%v, %v), want (0, 1)", d, p)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts, width := Histogram([]float64{0.1, 0.2, 0.9, -5, 99}, 0, 1, 4)
+	if width != 0.25 {
+		t.Errorf("width = %v, want 0.25", width)
+	}
+	// -5 clamps into bin 0; 99 clamps into bin 3.
+	want := []int{3, 0, 0, 2}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("counts = %v, want %v", counts, want)
+		}
+	}
+	counts, width = Histogram([]float64{1}, 1, 1, 3)
+	if width != 0 || len(counts) != 3 {
+		t.Errorf("degenerate range: counts=%v width=%v", counts, width)
+	}
+}

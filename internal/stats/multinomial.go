@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Multinomial is the joint distribution of category counts when N items are
+// assigned independently to len(P) categories with probabilities P (which
+// must sum to 1). It backs the multinomial ranked-group-fairness test of
+// the Multinomial FA*IR baseline (Zehlike et al. 2022).
+type Multinomial struct {
+	N int
+	P []float64
+}
+
+// Validate checks that the probability vector is well formed.
+func (m Multinomial) Validate() error {
+	if m.N < 0 {
+		return fmt.Errorf("stats: multinomial with negative N %d", m.N)
+	}
+	var s float64
+	for _, p := range m.P {
+		if math.IsNaN(p) || p < 0 || p > 1 {
+			return fmt.Errorf("stats: multinomial probability %v outside [0,1]", p)
+		}
+		s += p
+	}
+	if math.Abs(s-1) > 1e-9 {
+		return fmt.Errorf("stats: multinomial probabilities sum to %v, want 1", s)
+	}
+	return nil
+}
+
+// CDF returns P(X_g <= c_g for every category g), the rectangular
+// ("all counts at most c") multinomial CDF.
+//
+// The computation uses the sequential-binomial decomposition of the
+// multinomial: X_1 ~ Bin(N, p_1), and conditionally on the first g-1 counts
+// the next one is Bin(remaining, p_g / (p_g + ... + p_G)). A dynamic program
+// over the number of items still unassigned makes the cost O(G * N^2),
+// which is what lets the FA*IR baseline test every ranking prefix exactly
+// instead of resorting to Monte Carlo.
+func (m Multinomial) CDF(c []int) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if len(c) != len(m.P) {
+		return 0, fmt.Errorf("stats: CDF with %d bounds for %d categories", len(c), len(m.P))
+	}
+	g := len(m.P)
+	if g == 0 {
+		return 1, nil
+	}
+	// tail[j] = p_j + p_{j+1} + ... + p_{G-1}
+	tail := make([]float64, g+1)
+	for j := g - 1; j >= 0; j-- {
+		tail[j] = tail[j+1] + m.P[j]
+	}
+	// cur[rem] = probability that the first j categories respect their
+	// bounds and leave exactly rem items for the remaining categories.
+	cur := make([]float64, m.N+1)
+	next := make([]float64, m.N+1)
+	cur[m.N] = 1
+	for j := 0; j < g-1; j++ {
+		for i := range next {
+			next[i] = 0
+		}
+		var q float64
+		if tail[j] > 0 {
+			q = m.P[j] / tail[j]
+		}
+		for rem := 0; rem <= m.N; rem++ {
+			pr := cur[rem]
+			if pr == 0 {
+				continue
+			}
+			b := Binomial{N: rem, P: q}
+			hi := c[j]
+			if hi > rem {
+				hi = rem
+			}
+			if hi < 0 {
+				continue
+			}
+			// Incremental PMF walk: pmf(x+1) = pmf(x) * (rem-x)/(x+1) * q/(1-q).
+			pmf := b.PMF(0)
+			for x := 0; x <= hi; x++ {
+				next[rem-x] += pr * pmf
+				if x < hi {
+					if q >= 1 {
+						pmf = 0
+						if x+1 == rem {
+							pmf = 1 // all mass at x = rem when q = 1
+						}
+					} else {
+						pmf *= float64(rem-x) / float64(x+1) * q / (1 - q)
+					}
+				}
+			}
+		}
+		cur, next = next, cur
+	}
+	// Everything still unassigned lands in the last category.
+	var total float64
+	for rem := 0; rem <= m.N && rem <= c[g-1]; rem++ {
+		total += cur[rem]
+	}
+	if total > 1 {
+		total = 1
+	}
+	return total, nil
+}
+
+// PMF returns the joint probability of the exact count vector c, which must
+// sum to N.
+func (m Multinomial) PMF(c []int) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if len(c) != len(m.P) {
+		return 0, fmt.Errorf("stats: PMF with %d counts for %d categories", len(c), len(m.P))
+	}
+	sum := 0
+	for _, v := range c {
+		if v < 0 {
+			return 0, nil
+		}
+		sum += v
+	}
+	if sum != m.N {
+		return 0, nil
+	}
+	lg := func(v float64) float64 {
+		r, _ := math.Lgamma(v)
+		return r
+	}
+	logp := lg(float64(m.N) + 1)
+	for g, v := range c {
+		if m.P[g] == 0 {
+			if v != 0 {
+				return 0, nil
+			}
+			continue
+		}
+		logp += float64(v)*math.Log(m.P[g]) - lg(float64(v)+1)
+	}
+	return math.Exp(logp), nil
+}

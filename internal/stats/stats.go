@@ -1,0 +1,148 @@
+// Package stats is the statistics substrate for the reproduction.
+//
+// The paper's algorithm (DCA) rests on the Central Limit Theorem and the
+// Quantile Central Limit Theorem, its baselines need binomial and
+// multinomial CDFs (Multinomial FA*IR), and the synthetic data generators
+// need correlated normal draws and goodness-of-fit checks. Go's standard
+// library provides only math primitives (Erf, Lgamma), so this package
+// implements the rest from scratch: descriptive statistics, empirical
+// quantiles, the normal distribution with an inverse CDF, binomial and
+// multinomial distributions, Cholesky factorization, rank correlation, and
+// the two-sample Kolmogorov-Smirnov test.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by statistics that are undefined on empty inputs.
+var ErrEmpty = errors.New("stats: empty input")
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of xs. It returns 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// MeanVar returns the mean and the unbiased sample variance of xs in a
+// single pass (Welford's algorithm). Variance is 0 when len(xs) < 2.
+func MeanVar(xs []float64) (mean, variance float64) {
+	var m, m2 float64
+	for i, x := range xs {
+		delta := x - m
+		m += delta / float64(i+1)
+		m2 += delta * (x - m)
+	}
+	if len(xs) < 2 {
+		return m, 0
+	}
+	return m, m2 / float64(len(xs)-1)
+}
+
+// Variance returns the unbiased sample variance of xs.
+func Variance(xs []float64) float64 {
+	_, v := MeanVar(xs)
+	return v
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// MinMax returns the smallest and largest values in xs. It returns
+// (0, 0, ErrEmpty) for empty input.
+func MinMax(xs []float64) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi, nil
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics (the "type 7" estimator used by
+// most statistical environments). The input is copied and sorted.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return QuantileSorted(sorted, q)
+}
+
+// QuantileSorted is Quantile for already-sorted ascending input.
+func QuantileSorted(sorted []float64, q float64) (float64, error) {
+	n := len(sorted)
+	if n == 0 {
+		return 0, ErrEmpty
+	}
+	if math.IsNaN(q) {
+		return 0, errors.New("stats: NaN quantile")
+	}
+	if q <= 0 {
+		return sorted[0], nil
+	}
+	if q >= 1 {
+		return sorted[n-1], nil
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1], nil
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac, nil
+}
+
+// Clamp limits v to the closed interval [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Norm2 returns the L2 norm of v (the magnitude used to summarize the
+// disparity vector).
+func Norm2(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Dot returns the inner product of a and b, which must have equal length.
+func Dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

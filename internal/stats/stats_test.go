@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{3}, 3},
+		{"pair", []float64{1, 3}, 2},
+		{"negatives", []float64{-2, -4, -6}, -4},
+		{"mixed", []float64{-1, 0, 1}, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Mean(tc.in); !almostEqual(got, tc.want, 1e-12) {
+				t.Errorf("Mean(%v) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestMeanVarMatchesTwoPass(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 7
+	}
+	m, v := MeanVar(xs)
+	// Two-pass reference.
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	refMean := sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		ss += (x - refMean) * (x - refMean)
+	}
+	refVar := ss / float64(len(xs)-1)
+	if !almostEqual(m, refMean, 1e-9) {
+		t.Errorf("mean = %v, want %v", m, refMean)
+	}
+	if !almostEqual(v, refVar, 1e-9) {
+		t.Errorf("variance = %v, want %v", v, refVar)
+	}
+}
+
+func TestVarianceEdgeCases(t *testing.T) {
+	if v := Variance(nil); v != 0 {
+		t.Errorf("Variance(nil) = %v, want 0", v)
+	}
+	if v := Variance([]float64{5}); v != 0 {
+		t.Errorf("Variance(single) = %v, want 0", v)
+	}
+	if v := Variance([]float64{2, 2, 2, 2}); !almostEqual(v, 0, 1e-12) {
+		t.Errorf("Variance(constant) = %v, want 0", v)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi, err := MinMax([]float64{3, -1, 4, -1, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != -1 || hi != 5 {
+		t.Errorf("MinMax = (%v, %v), want (-1, 5)", lo, hi)
+	}
+	if _, _, err := MinMax(nil); err == nil {
+		t.Error("MinMax(nil): expected error")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.75, 4}, {0.125, 1.5},
+	}
+	for _, tc := range tests {
+		got, err := Quantile(xs, tc.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, tc.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Error("Quantile(empty): expected error")
+	}
+	if _, err := Quantile(xs, math.NaN()); err == nil {
+		t.Error("Quantile(NaN): expected error")
+	}
+}
+
+// Quantiles must be monotone in q and bounded by the sample extremes.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v, err := Quantile(xs, q)
+			if err != nil {
+				return false
+			}
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		lo, hi, _ := MinMax(xs)
+		first, _ := Quantile(xs, 0)
+		last, _ := Quantile(xs, 1)
+		return first == lo && last == hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 1); got != 1 {
+		t.Errorf("Clamp(5,0,1) = %v", got)
+	}
+	if got := Clamp(-5, 0, 1); got != 0 {
+		t.Errorf("Clamp(-5,0,1) = %v", got)
+	}
+	if got := Clamp(0.5, 0, 1); got != 0.5 {
+		t.Errorf("Clamp(0.5,0,1) = %v", got)
+	}
+}
+
+func TestNorm2AndDot(t *testing.T) {
+	if got := Norm2([]float64{3, 4}); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("Norm2 = %v, want 5", got)
+	}
+	if got := Norm2(nil); got != 0 {
+		t.Errorf("Norm2(nil) = %v, want 0", got)
+	}
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+}

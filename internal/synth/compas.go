@@ -1,0 +1,158 @@
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"fairrank/internal/dataset"
+)
+
+// RaceSpec describes one racial group of the COMPAS-like population.
+type RaceSpec struct {
+	Name string
+	// Share of the population (all shares must sum to 1).
+	Share float64
+	// RiskShift displaces the group's latent risk score (standard normal
+	// units). It models the upstream bias baked into the proprietary
+	// score: positive shifts push the group into higher deciles.
+	RiskShift float64
+}
+
+// CompasConfig parameterizes the recidivism dataset generator.
+//
+// Each defendant gets a latent risk z = RiskShift(race) + N(0,1). Decile
+// scores 1..10 are the population deciles of z (10% of defendants per
+// decile, like the real instrument's norm-referenced scores), which keeps
+// the scores as coarse as the paper's Figure 10 discussion requires. The
+// ground-truth two-year recidivism outcome is Bernoulli with probability
+// logistic(Alpha + Beta * (z - RaceGap*shift)): with RaceGap > 0 the score
+// overstates the risk of positively shifted groups, reproducing the
+// ProPublica finding of unequal false positive rates.
+type CompasConfig struct {
+	N     int   // defendants (paper: 7,214)
+	Seed  int64 //
+	Races []RaceSpec
+
+	Alpha   float64 // logistic intercept of the true recidivism model
+	Beta    float64 // logistic slope on the latent risk
+	RaceGap float64 // fraction of the race shift that is pure score bias (not true risk)
+}
+
+// Race names used by the default configuration, mirroring the ProPublica
+// categories.
+const (
+	RaceAfricanAmerican = "African-American"
+	RaceCaucasian       = "Caucasian"
+	RaceHispanic        = "Hispanic"
+	RaceOther           = "Other"
+	RaceAsian           = "Asian"
+	RaceNativeAmerican  = "Native-American"
+)
+
+// DefaultCompasConfig returns the calibrated configuration: Broward-like
+// race mix, mean decile gap of about 1.6 between African-American and
+// Caucasian defendants, overall two-year recidivism near 45%, and a
+// false-positive-rate gap in the direction ProPublica reported.
+func DefaultCompasConfig() CompasConfig {
+	return CompasConfig{
+		N:    7214,
+		Seed: 2016,
+		Races: []RaceSpec{
+			{Name: RaceAfricanAmerican, Share: 0.514, RiskShift: 0.50},
+			{Name: RaceCaucasian, Share: 0.341, RiskShift: -0.30},
+			{Name: RaceHispanic, Share: 0.082, RiskShift: -0.20},
+			{Name: RaceOther, Share: 0.0533, RiskShift: -0.35},
+			{Name: RaceAsian, Share: 0.0044, RiskShift: -0.55},
+			{Name: RaceNativeAmerican, Share: 0.0053, RiskShift: 0.35},
+		},
+		Alpha:   -0.25,
+		Beta:    0.9,
+		RaceGap: 0.5,
+	}
+}
+
+// CompasScoreWeights ranks by the decile score with an infinitesimal
+// tie-break column: deciles are 10 coarse buckets, so a deterministic
+// within-bucket order is required for reproducible selections. The
+// tie-break weight is far below the 0.5-point bonus granularity and never
+// changes which bucket an adjusted score lands in.
+func CompasScoreWeights() []float64 { return []float64{1, 1e-6} }
+
+// GenerateCompas synthesizes the recidivism dataset. Score columns are
+// {Decile, TieBreak}; fairness columns are one-hot race indicators in the
+// order of cfg.Races; outcomes record two-year recidivism. Selection by
+// descending decile ("flagged as high risk") is an adverse selection: use
+// rank.Adverse so bonus points lower effective risk.
+func GenerateCompas(cfg CompasConfig) (*dataset.Dataset, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("synth: compas population size %d", cfg.N)
+	}
+	var total float64
+	for _, r := range cfg.Races {
+		if r.Share < 0 {
+			return nil, fmt.Errorf("synth: race %q share %v", r.Name, r.Share)
+		}
+		total += r.Share
+	}
+	if math.Abs(total-1) > 1e-6 {
+		return nil, fmt.Errorf("synth: race shares sum to %v, want 1", total)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	race := make([]int, cfg.N)
+	z := make([]float64, cfg.N)
+	recid := make([]bool, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		u := rng.Float64()
+		g := len(cfg.Races) - 1
+		acc := 0.0
+		for j, r := range cfg.Races {
+			acc += r.Share
+			if u < acc {
+				g = j
+				break
+			}
+		}
+		race[i] = g
+		shift := cfg.Races[g].RiskShift
+		z[i] = shift + rng.NormFloat64()
+		// True risk removes the biased fraction of the shift.
+		trueRisk := z[i] - cfg.RaceGap*shift
+		p := 1 / (1 + math.Exp(-(cfg.Alpha + cfg.Beta*trueRisk)))
+		recid[i] = rng.Float64() < p
+	}
+
+	// Norm-referenced deciles: rank all defendants by latent risk and cut
+	// into 10 equal buckets, decile 10 = riskiest.
+	order := make([]int, cfg.N)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return z[order[a]] < z[order[b]] })
+	decile := make([]float64, cfg.N)
+	for pos, i := range order {
+		d := 1 + pos*10/cfg.N
+		if d > 10 {
+			d = 10
+		}
+		decile[i] = float64(d)
+	}
+
+	names := make([]string, len(cfg.Races))
+	for j, r := range cfg.Races {
+		names[j] = r.Name
+	}
+	b := dataset.NewBuilder([]string{"Decile", "TieBreak"}, names)
+	oneHot := make([]float64, len(cfg.Races))
+	for i := 0; i < cfg.N; i++ {
+		for j := range oneHot {
+			oneHot[j] = 0
+		}
+		oneHot[race[i]] = 1
+		row := append([]float64(nil), oneHot...)
+		b.AddWithOutcome([]float64{decile[i], rng.Float64()}, row, recid[i])
+	}
+	return b.Build()
+}
