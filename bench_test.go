@@ -17,6 +17,7 @@ import (
 
 	"fairrank"
 	"fairrank/internal/core"
+	"fairrank/internal/engine"
 	"fairrank/internal/experiments"
 	"fairrank/internal/rank"
 	"fairrank/internal/stats"
@@ -98,6 +99,31 @@ func benchTrain(b *testing.B, n int) {
 func BenchmarkDCATrain20k(b *testing.B) { benchTrain(b, 20_000) }
 func BenchmarkDCATrain80k(b *testing.B) { benchTrain(b, 80_000) }
 
+// Ensemble training cost (the engine's concurrent evaluation layer: one
+// workspace per worker goroutine, shared base scores).
+
+func benchTrainEnsemble(b *testing.B, n, runs int) {
+	cfg := fairrank.DefaultSchoolConfig()
+	cfg.N = n
+	d, err := fairrank.GenerateSchool(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scorer := fairrank.WeightedSum{Weights: fairrank.SchoolScoreWeights()}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := fairrank.DefaultOptions()
+		opts.Seed = int64(i + 1)
+		if _, err := fairrank.TrainEnsemble(d, scorer, fairrank.DisparityObjective(0.05), opts, runs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainSchoolEnsemble8(b *testing.B)  { benchTrainEnsemble(b, 20_000, 8) }
+func BenchmarkTrainSchoolEnsemble32(b *testing.B) { benchTrainEnsemble(b, 20_000, 32) }
+
 // Selection-strategy ablation: full sort vs quickselect vs bounded heap
 // for the top-5% selection (DESIGN.md `ablation-select`).
 
@@ -142,6 +168,35 @@ func BenchmarkObjectiveDisparity(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := obj.Eval(d, idx, eff); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The same evaluation through the engine's bound, in-place objective API —
+// the per-step hot path of the descent loop. Expect 0 allocs/op.
+
+func BenchmarkObjectiveDisparityBound(b *testing.B) {
+	d, err := benchEnv.Train()
+	if err != nil {
+		b.Fatal(err)
+	}
+	scorer := benchEnv.SchoolScorer()
+	base := scorer.BaseScores(d)
+	rng := rand.New(rand.NewSource(3))
+	idx := rng.Perm(d.N())[:500]
+	bonus := []float64{1, 11.5, 12, 12}
+	eff := rank.EffectiveScores(d, base, idx, bonus, rank.Beneficial, nil)
+	bound, err := core.BindObjective(core.DisparityObjective(0.05), d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ws := engine.NewWorkspace(d.NumFair())
+	dst := make([]float64, d.NumFair())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bound.EvalInto(ws, idx, eff, dst); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -24,6 +24,24 @@
 // sample size max(1/k, 1/r), not on the population, making it sub-linear
 // and fast enough for interactive what-if iteration.
 //
+// # The engine layer
+//
+// Underneath the training entry points sits internal/engine: a reusable,
+// allocation-free selection and evaluation engine. Every descent step runs
+// through a preallocated engine workspace (effective-score buffer,
+// selection index buffer, per-dimension objective accumulators) and a
+// single shared descent loop parameterized by a sample source and an
+// update rule, so a step allocates nothing; objectives are validated once
+// at bind time, not per step. Concurrency follows the same shape: ensemble
+// training and the Evaluator's sweep methods fan out over a worker pool
+// with one workspace per goroutine, and an Evaluator is safe for
+// concurrent use. Results are bit-identical to a naive single-threaded
+// implementation — aggregation is always done in deterministic order.
+//
+// Hold a Trainer to reuse the workspace across repeated runs on the same
+// dataset (the interactive what-if loop); one-shot calls can keep using
+// Train/TrainCore/TrainFull.
+//
 // # Quick start
 //
 //	d, _ := fairrank.GenerateSchool(fairrank.DefaultSchoolConfig())
@@ -109,6 +127,20 @@ type Evaluator = core.Evaluator
 // 500, learning-rate ladder {1.0, 0.1} x 100 steps, 100 Adam refinement
 // steps, 0.5-point granularity).
 func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Trainer runs DCA repeatedly over one dataset and ranking function,
+// reusing the engine workspace and the precomputed base scores across
+// runs — the cheapest way to drive interactive what-if iteration. Not
+// safe for concurrent use; create one per goroutine.
+type Trainer = core.Trainer
+
+// NewTrainer returns a Trainer for the dataset under the given ranking
+// function.
+func NewTrainer(d *Dataset, scorer Scorer) *Trainer { return core.NewTrainer(d, scorer) }
+
+// SweepPoint is one (bonus vector, selection fraction) evaluation of an
+// Evaluator sweep; the sweep methods fan points over a worker pool.
+type SweepPoint = core.SweepPoint
 
 // Train runs the full DCA pipeline (Algorithm 1, Algorithm 2, rounding)
 // and returns the bonus-point vector minimizing the objective.

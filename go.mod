@@ -1,0 +1,3 @@
+module fairrank
+
+go 1.24

@@ -31,6 +31,14 @@ type Quota struct {
 // If there are not enough disadvantaged candidates the unused reserved
 // seats revert to open competition (a soft quota).
 func (q Quota) Select(d *dataset.Dataset, base []float64, frac float64) ([]int, error) {
+	return q.SelectOrdered(d, rank.Order(base), frac)
+}
+
+// SelectOrdered is Select over a precomputed descending ranking of the
+// base scores, e.g. a core.Evaluator's cached original order. Sweeps over
+// many selection fractions reuse one ranking instead of re-sorting the
+// population per fraction.
+func (q Quota) SelectOrdered(d *dataset.Dataset, order []int, frac float64) ([]int, error) {
 	if q.Reserve < 0 || q.Reserve > 1 {
 		return nil, fmt.Errorf("baselines: quota reserve %v outside [0,1]", q.Reserve)
 	}
@@ -51,7 +59,6 @@ func (q Quota) Select(d *dataset.Dataset, base []float64, frac float64) ([]int, 
 		}
 	}
 
-	order := rank.Order(base)
 	selected := make([]int, 0, total)
 	taken := make([]bool, d.N())
 	// Pass 1: open seats by pure rank.

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"fairrank/internal/dataset"
+	"fairrank/internal/engine"
+	"fairrank/internal/rank"
+)
+
+func outcomeDataset(t *testing.T, withOutcomes bool) *dataset.Dataset {
+	t.Helper()
+	b := dataset.NewBuilder([]string{"score"}, []string{"g1", "g2"})
+	for i := 0; i < 64; i++ {
+		score := []float64{float64(i % 17)}
+		fair := []float64{float64(i % 2), float64((i / 2) % 2)}
+		if withOutcomes {
+			b.AddWithOutcome(score, fair, i%3 == 0)
+		} else {
+			b.Add(score, fair)
+		}
+	}
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestBindRejectsMissingOutcomesEagerly pins the bind-stage contract: an
+// outcome-dependent objective on a dataset without outcomes must fail at
+// bind time, before any descent step runs — not on step one of the loop.
+func TestBindRejectsMissingOutcomesEagerly(t *testing.T) {
+	d := outcomeDataset(t, false)
+	if _, err := BindObjective(FPRObjective(0.25), d); err == nil {
+		t.Fatal("BindObjective(FPR) on a dataset without outcomes: expected error")
+	}
+
+	opts := DefaultOptions()
+	opts.SampleSize = 32
+	steps := 0
+	opts.Trace = func(TraceStep) { steps++ }
+	if _, err := Run(d, rank.Column{Index: 0}, FPRObjective(0.25), opts); err == nil {
+		t.Fatal("Run with FPR objective on a dataset without outcomes: expected error")
+	}
+	if steps != 0 {
+		t.Fatalf("validation error surfaced after %d descent steps; want 0 (bind-time rejection)", steps)
+	}
+}
+
+// TestBoundObjectiveCannotFailMidRun is the regression for the old
+// per-step checkOutcomes call in AtK.Eval: once Bind succeeds, repeated
+// in-place evaluations must never surface a validation error, across both
+// the fixed-k and log-discounted objectives.
+func TestBoundObjectiveCannotFailMidRun(t *testing.T) {
+	d := outcomeDataset(t, true)
+	ws := engine.NewWorkspace(d.NumFair())
+	scorer := rank.Column{Index: 0}
+	base := scorer.BaseScores(d)
+
+	sample := make([]int, d.N())
+	for i := range sample {
+		sample[i] = i
+	}
+	eff := rank.EffectiveScores(d, base, sample, []float64{1, 2}, rank.Beneficial, nil)
+	dst := make([]float64, d.NumFair())
+
+	for _, obj := range []Objective{FPRObjective(0.25), LogDiscountedDisparity(0.1, 0.5)} {
+		bound, err := BindObjective(obj, d)
+		if err != nil {
+			t.Fatalf("BindObjective(%s): %v", obj.Name(), err)
+		}
+		for step := 0; step < 500; step++ {
+			if err := bound.EvalInto(ws, sample, eff, dst); err != nil {
+				t.Fatalf("%s: EvalInto error on step %d after successful bind: %v", obj.Name(), step, err)
+			}
+		}
+	}
+
+	// The full pipeline must also run an outcome-dependent objective to
+	// completion once bound.
+	opts := DefaultOptions()
+	opts.SampleSize = 32
+	if _, err := Run(d, scorer, FPRObjective(0.25), opts); err != nil {
+		t.Fatalf("Run with FPR objective on an outcome dataset: %v", err)
+	}
+}
+
+// TestBoundMatchesLegacyEval pins the in-place evaluation against the
+// allocating legacy path bit-for-bit on every packaged objective.
+func TestBoundMatchesLegacyEval(t *testing.T) {
+	d := outcomeDataset(t, true)
+	ws := engine.NewWorkspace(d.NumFair())
+	scorer := rank.Column{Index: 0}
+	base := scorer.BaseScores(d)
+	sample := []int{3, 9, 14, 22, 27, 31, 38, 45, 51, 60, 7, 12}
+	eff := rank.EffectiveScores(d, base, sample, []float64{0.5, 1.5}, rank.Beneficial, nil)
+	dst := make([]float64, d.NumFair())
+
+	objectives := []Objective{
+		DisparityObjective(0.25),
+		DisparateImpactObjective(0.25),
+		FPRObjective(0.25),
+		LogDiscountedDisparity(0.1, 0.5),
+		LogDiscounted{Points: []float64{0.2, 0.4}, Metric: DisparateImpactMetric{}},
+	}
+	for _, obj := range objectives {
+		want, err := obj.Eval(d, sample, eff)
+		if err != nil {
+			t.Fatalf("%s: legacy Eval: %v", obj.Name(), err)
+		}
+		bound, err := BindObjective(obj, d)
+		if err != nil {
+			t.Fatalf("%s: bind: %v", obj.Name(), err)
+		}
+		if err := bound.EvalInto(ws, sample, eff, dst); err != nil {
+			t.Fatalf("%s: EvalInto: %v", obj.Name(), err)
+		}
+		for j := range want {
+			if dst[j] != want[j] {
+				t.Errorf("%s[%d]: bound = %v, legacy = %v", obj.Name(), j, dst[j], want[j])
+			}
+		}
+	}
+}

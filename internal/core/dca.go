@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"fairrank/internal/dataset"
+	"fairrank/internal/engine"
 	"fairrank/internal/optimize"
 	"fairrank/internal/rank"
 	"fairrank/internal/sample"
@@ -50,13 +51,7 @@ type Options struct {
 }
 
 // TraceStep is one observed descent step.
-type TraceStep struct {
-	Stage     string // "core" or "refine"
-	Step      int    // step index within the stage sequence
-	LR        float64
-	Bonus     []float64 // copy of the bonus vector after the update
-	Objective []float64 // objective vector measured before the update
-}
+type TraceStep = engine.TraceStep
 
 // DefaultOptions returns the paper's settings: sample size 500, learning
 // rates {1.0, 0.1} for 100 steps each, 100 Adam refinement steps averaged
@@ -126,14 +121,7 @@ func (o *Options) validate(d *dataset.Dataset) error {
 // clampBonus enforces b >= 0 (the paper's "no penalties" requirement) and
 // the optional per-dimension cap.
 func clampBonus(b []float64, maxBonus float64) {
-	for j := range b {
-		if b[j] < 0 {
-			b[j] = 0
-		}
-		if maxBonus > 0 && b[j] > maxBonus {
-			b[j] = maxBonus
-		}
-	}
+	engine.ClampBonus(b, maxBonus)
 }
 
 // RoundTo rounds every dimension of b to the nearest multiple of
@@ -158,33 +146,73 @@ func Scale(b []float64, w, granularity float64) []float64 {
 	return RoundTo(out, granularity)
 }
 
-// Run executes the full DCA pipeline of the paper: Algorithm 1 (ladder
+// Trainer runs DCA repeatedly over one dataset and ranking function. It
+// precomputes the base scores and owns an engine.Workspace, so repeated
+// runs — the interactive what-if iteration of the paper, ensemble members,
+// parameter sweeps — share buffers and allocate (almost) nothing per
+// descent step.
+//
+// A Trainer is not safe for concurrent use: it owns a single workspace.
+// Create one per goroutine (Ensemble does exactly that).
+type Trainer struct {
+	d      *dataset.Dataset
+	scorer rank.Scorer
+	base   []float64
+	ws     *engine.Workspace
+}
+
+// NewTrainer returns a trainer for the dataset under the given ranking
+// function. Base scores are computed once, here.
+func NewTrainer(d *dataset.Dataset, scorer rank.Scorer) *Trainer {
+	return &Trainer{
+		d:      d,
+		scorer: scorer,
+		base:   scorer.BaseScores(d),
+		ws:     engine.NewWorkspace(d.NumFair()),
+	}
+}
+
+// Dataset returns the underlying dataset.
+func (t *Trainer) Dataset() *dataset.Dataset { return t.d }
+
+// BaseScores returns the precomputed uncompensated scores (do not modify).
+func (t *Trainer) BaseScores() []float64 { return t.base }
+
+// Train executes the full DCA pipeline of the paper: Algorithm 1 (ladder
 // descent over random samples), Algorithm 2 (Adam refinement over epoch
 // samples with trailing-average smoothing) when RefineSteps > 0, and final
-// rounding to Granularity.
-//
-// scorer provides the base ranking function f; obj is the fairness
-// objective to drive to zero.
-func Run(d *dataset.Dataset, scorer rank.Scorer, obj Objective, opts Options) (Result, error) {
+// rounding to Granularity. obj is the fairness objective to drive to zero.
+func (t *Trainer) Train(obj Objective, opts Options) (Result, error) {
 	start := time.Now()
-	if err := opts.validate(d); err != nil {
+	if err := opts.validate(t.d); err != nil {
 		return Result{}, err
 	}
-	base := scorer.BaseScores(d)
-	smp := sample.New(d.N(), opts.Seed)
+	bound, err := BindObjective(obj, t.d)
+	if err != nil {
+		return Result{}, err
+	}
+	smp := sample.New(t.d.N(), opts.Seed)
+	b := initBonus(t.d, smp, opts)
+	loop := t.loop(bound, opts)
 
-	b := initBonus(d, smp, opts)
-	steps, err := coreDescent(d, base, obj, b, smp, opts)
+	sampleBuf := t.ws.SampleBuf(opts.SampleSize)
+	ladder := engine.NewLadderUpdater(opts.Ladder, opts.Polarity.Sign())
+	steps, err := loop.Descend(b, opts.Ladder.TotalSteps(),
+		func() []int { return smp.UniformInto(sampleBuf) }, ladder, "core")
 	if err != nil {
 		return Result{}, err
 	}
 	res := Result{CoreBonus: append([]float64(nil), b...), Steps: steps}
 
 	if opts.RefineSteps > 0 {
-		rsteps, err := refine(d, base, obj, b, smp, opts)
+		adam := engine.NewAdamUpdater(t.d.NumFair(), opts.RefineLR, opts.Polarity.Sign(), opts.RefineSteps, opts.AverageWindow)
+		rsteps, err := loop.Descend(b, opts.RefineSteps,
+			func() []int { return smp.Next(opts.SampleSize) }, adam, "refine")
 		if err != nil {
 			return Result{}, err
 		}
+		adam.Average(b)
+		clampBonus(b, opts.MaxBonus)
 		res.Steps += rsteps
 	}
 	res.Raw = append([]float64(nil), b...)
@@ -194,6 +222,70 @@ func Run(d *dataset.Dataset, scorer rank.Scorer, obj Objective, opts Options) (R
 	return res, nil
 }
 
+// TrainCore executes Algorithm 1 only (no refinement, no rounding); see
+// CoreDCA.
+func (t *Trainer) TrainCore(obj Objective, opts Options) (Result, error) {
+	opts.RefineSteps = 0
+	return t.Train(obj, opts)
+}
+
+// TrainFull executes the whole-dataset variant of Section IV-C; see
+// FullDCA.
+func (t *Trainer) TrainFull(obj Objective, opts Options) (Result, error) {
+	start := time.Now()
+	opts.SampleSize = t.d.N()
+	opts.RefineSteps = 0
+	if err := opts.validate(t.d); err != nil {
+		return Result{}, err
+	}
+	bound, err := BindObjective(obj, t.d)
+	if err != nil {
+		return Result{}, err
+	}
+	smp := sample.New(t.d.N(), opts.Seed)
+	b := initBonus(t.d, smp, opts)
+
+	all := t.ws.SampleBuf(t.d.N())
+	for i := range all {
+		all[i] = i
+	}
+	loop := t.loop(bound, opts)
+	ladder := engine.NewLadderUpdater(opts.Ladder, opts.Polarity.Sign())
+	steps, err := loop.Descend(b, opts.Ladder.TotalSteps(),
+		func() []int { return all }, ladder, "full")
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		CoreBonus: append([]float64(nil), b...),
+		Raw:       append([]float64(nil), b...),
+		Bonus:     RoundTo(append([]float64(nil), b...), opts.Granularity),
+		Steps:     steps,
+		Elapsed:   time.Since(start),
+	}
+	clampBonus(res.Bonus, opts.MaxBonus)
+	return res, nil
+}
+
+func (t *Trainer) loop(bound engine.Objective, opts Options) *engine.Loop {
+	return &engine.Loop{
+		D:        t.d,
+		Base:     t.base,
+		Obj:      bound,
+		Polarity: opts.Polarity,
+		MaxBonus: opts.MaxBonus,
+		WS:       t.ws,
+		Trace:    opts.Trace,
+	}
+}
+
+// Run executes the full DCA pipeline on a one-shot Trainer; see
+// Trainer.Train. Callers training repeatedly on the same dataset should
+// hold a Trainer to reuse its buffers.
+func Run(d *dataset.Dataset, scorer rank.Scorer, obj Objective, opts Options) (Result, error) {
+	return NewTrainer(d, scorer).Train(obj, opts)
+}
+
 // CoreDCA executes Algorithm 1 only (no refinement, no rounding) and
 // returns the raw bonus vector. The paper reports it as "Core DCA"; Table I
 // applies granularity rounding to its output, which callers get via
@@ -201,6 +293,15 @@ func Run(d *dataset.Dataset, scorer rank.Scorer, obj Objective, opts Options) (R
 func CoreDCA(d *dataset.Dataset, scorer rank.Scorer, obj Objective, opts Options) (Result, error) {
 	opts.RefineSteps = 0
 	return Run(d, scorer, obj, opts)
+}
+
+// FullDCA is the whole-dataset variant of Section IV-C: identical to
+// Algorithm 1 but every step evaluates the objective on the entire
+// population instead of a sample. It is O(ladder steps × n log n) and
+// exists to validate the sampled algorithm (Theorem 4.1's swap guarantee
+// holds exactly for it).
+func FullDCA(d *dataset.Dataset, scorer rank.Scorer, obj Objective, opts Options) (Result, error) {
+	return NewTrainer(d, scorer).TrainFull(obj, opts)
 }
 
 func initBonus(d *dataset.Dataset, smp *sample.Sampler, opts Options) []float64 {
@@ -214,135 +315,4 @@ func initBonus(d *dataset.Dataset, smp *sample.Sampler, opts Options) []float64 
 	}
 	clampBonus(b, opts.MaxBonus)
 	return b
-}
-
-// coreDescent runs the learning-rate ladder of Algorithm 1, mutating b.
-func coreDescent(d *dataset.Dataset, base []float64, obj Objective, b []float64, smp *sample.Sampler, opts Options) (int, error) {
-	sign := opts.Polarity.Sign()
-	eff := make([]float64, opts.SampleSize)
-	steps := 0
-	for _, stage := range opts.Ladder {
-		for x := 0; x < stage.Steps; x++ {
-			idx := smp.Uniform(opts.SampleSize)
-			rank.EffectiveScores(d, base, idx, b, opts.Polarity, eff)
-			dvec, err := obj.Eval(d, idx, eff)
-			if err != nil {
-				return steps, err
-			}
-			for j := range b {
-				b[j] -= sign * stage.LR * dvec[j]
-			}
-			clampBonus(b, opts.MaxBonus)
-			steps++
-			if opts.Trace != nil {
-				opts.Trace(TraceStep{
-					Stage: "core", Step: steps, LR: stage.LR,
-					Bonus: append([]float64(nil), b...), Objective: dvec,
-				})
-			}
-		}
-	}
-	return steps, nil
-}
-
-// refine runs Algorithm 2, mutating b to the trailing average of the Adam
-// iterates.
-func refine(d *dataset.Dataset, base []float64, obj Objective, b []float64, smp *sample.Sampler, opts Options) (int, error) {
-	sign := opts.Polarity.Sign()
-	dims := len(b)
-	adam := optimize.NewAdam(dims, opts.RefineLR)
-	eff := make([]float64, opts.SampleSize)
-	grad := make([]float64, dims)
-	avg := make([]float64, dims)
-	window := opts.AverageWindow
-	if window <= 0 || window > opts.RefineSteps {
-		window = opts.RefineSteps
-	}
-	count := 0
-	for x := 0; x < opts.RefineSteps; x++ {
-		idx := smp.Next(opts.SampleSize)
-		rank.EffectiveScores(d, base, idx, b, opts.Polarity, eff)
-		dvec, err := obj.Eval(d, idx, eff)
-		if err != nil {
-			return x, err
-		}
-		for j := range grad {
-			grad[j] = sign * dvec[j]
-		}
-		adam.Step(b, grad)
-		clampBonus(b, opts.MaxBonus)
-		if x >= opts.RefineSteps-window {
-			for j := range avg {
-				avg[j] += b[j]
-			}
-			count++
-		}
-		if opts.Trace != nil {
-			opts.Trace(TraceStep{
-				Stage: "refine", Step: x + 1, LR: opts.RefineLR,
-				Bonus: append([]float64(nil), b...), Objective: dvec,
-			})
-		}
-	}
-	if count > 0 {
-		for j := range b {
-			b[j] = avg[j] / float64(count)
-		}
-	}
-	clampBonus(b, opts.MaxBonus)
-	return opts.RefineSteps, nil
-}
-
-// FullDCA is the whole-dataset variant of Section IV-C: identical to
-// Algorithm 1 but every step evaluates the objective on the entire
-// population instead of a sample. It is O(ladder steps × n log n) and
-// exists to validate the sampled algorithm (Theorem 4.1's swap guarantee
-// holds exactly for it).
-func FullDCA(d *dataset.Dataset, scorer rank.Scorer, obj Objective, opts Options) (Result, error) {
-	start := time.Now()
-	opts.SampleSize = d.N()
-	opts.RefineSteps = 0
-	if err := opts.validate(d); err != nil {
-		return Result{}, err
-	}
-	base := scorer.BaseScores(d)
-	smp := sample.New(d.N(), opts.Seed)
-	b := initBonus(d, smp, opts)
-
-	all := make([]int, d.N())
-	for i := range all {
-		all[i] = i
-	}
-	sign := opts.Polarity.Sign()
-	eff := make([]float64, d.N())
-	steps := 0
-	for _, stage := range opts.Ladder {
-		for x := 0; x < stage.Steps; x++ {
-			rank.EffectiveScores(d, base, all, b, opts.Polarity, eff)
-			dvec, err := obj.Eval(d, all, eff)
-			if err != nil {
-				return Result{}, err
-			}
-			for j := range b {
-				b[j] -= sign * stage.LR * dvec[j]
-			}
-			clampBonus(b, opts.MaxBonus)
-			steps++
-			if opts.Trace != nil {
-				opts.Trace(TraceStep{
-					Stage: "full", Step: steps, LR: stage.LR,
-					Bonus: append([]float64(nil), b...), Objective: dvec,
-				})
-			}
-		}
-	}
-	res := Result{
-		CoreBonus: append([]float64(nil), b...),
-		Raw:       append([]float64(nil), b...),
-		Bonus:     RoundTo(append([]float64(nil), b...), opts.Granularity),
-		Steps:     steps,
-		Elapsed:   time.Since(start),
-	}
-	clampBonus(res.Bonus, opts.MaxBonus)
-	return res, nil
 }

@@ -3,10 +3,9 @@ package core
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"fairrank/internal/dataset"
+	"fairrank/internal/engine"
 	"fairrank/internal/rank"
 )
 
@@ -26,39 +25,25 @@ type EnsembleResult struct {
 }
 
 // Ensemble runs DCA with seeds opts.Seed, opts.Seed+1, ..., opts.Seed+runs-1
-// and aggregates the raw bonus vectors. Runs execute concurrently (they
-// are independent and the dataset is read-only); the result is
-// deterministic regardless of scheduling because aggregation happens in
-// seed order. runs must be at least 1.
+// and aggregates the raw bonus vectors. Runs execute on the engine's
+// worker pool with one workspace per goroutine, sharing the precomputed
+// base scores (they are independent and the dataset is read-only); the
+// result is deterministic regardless of scheduling because aggregation
+// happens in seed order. runs must be at least 1.
 func Ensemble(d *dataset.Dataset, scorer rank.Scorer, obj Objective, opts Options, runs int) (EnsembleResult, error) {
 	if runs < 1 {
 		return EnsembleResult{}, fmt.Errorf("core: ensemble of %d runs", runs)
 	}
 	results := make([]Result, runs)
 	errs := make([]error, runs)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > runs {
-		workers = runs
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for r := range next {
-				o := opts
-				o.Seed = opts.Seed + int64(r)
-				o.Trace = nil // trace hooks are not safe to share across goroutines
-				results[r], errs[r] = Run(d, scorer, obj, o)
-			}
-		}()
-	}
-	for r := 0; r < runs; r++ {
-		next <- r
-	}
-	close(next)
-	wg.Wait()
+	base := scorer.BaseScores(d) // shared, read-only across workers
+	engine.ForEach(runs, d.NumFair(), func(ws *engine.Workspace, r int) {
+		o := opts
+		o.Seed = opts.Seed + int64(r)
+		o.Trace = nil // trace hooks are not safe to share across goroutines
+		t := &Trainer{d: d, scorer: scorer, base: base, ws: ws}
+		results[r], errs[r] = t.Train(obj, o)
+	})
 
 	dims := d.NumFair()
 	sum := make([]float64, dims)

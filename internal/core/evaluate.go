@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"fairrank/internal/dataset"
+	"fairrank/internal/engine"
 	"fairrank/internal/metrics"
 	"fairrank/internal/rank"
 )
@@ -12,6 +14,10 @@ import (
 // precomputes the base scores, the uncompensated ranking (the nDCG ideal),
 // and the population centroid so repeated evaluations — parameter sweeps
 // across k, bonus scalings, per-figure series — stay cheap.
+//
+// An Evaluator is safe for concurrent use: scratch buffers come from an
+// internal pool of engine workspaces, one per active goroutine, and the
+// Sweep methods fan their points over a worker pool.
 type Evaluator struct {
 	d        *dataset.Dataset
 	pol      rank.Polarity
@@ -19,6 +25,7 @@ type Evaluator struct {
 	origOrd  []int
 	centroid []float64
 	all      []int
+	pool     sync.Pool // *engine.Workspace
 }
 
 // NewEvaluator builds an evaluator for the dataset under the given ranking
@@ -29,7 +36,7 @@ func NewEvaluator(d *dataset.Dataset, scorer rank.Scorer, pol rank.Polarity) *Ev
 	for i := range all {
 		all[i] = i
 	}
-	return &Evaluator{
+	e := &Evaluator{
 		d:        d,
 		pol:      pol,
 		base:     base,
@@ -37,6 +44,8 @@ func NewEvaluator(d *dataset.Dataset, scorer rank.Scorer, pol rank.Polarity) *Ev
 		centroid: d.FairCentroid(),
 		all:      all,
 	}
+	e.pool.New = func() any { return engine.NewWorkspace(d.NumFair()) }
+	return e
 }
 
 // Dataset returns the underlying dataset.
@@ -45,6 +54,32 @@ func (e *Evaluator) Dataset() *dataset.Dataset { return e.d }
 // BaseScores returns the uncompensated scores (do not modify).
 func (e *Evaluator) BaseScores() []float64 { return e.base }
 
+func (e *Evaluator) ws() *engine.Workspace   { return e.pool.Get().(*engine.Workspace) }
+func (e *Evaluator) put(w *engine.Workspace) { e.pool.Put(w) }
+
+// orderWS returns the full ranking under bonus using workspace buffers;
+// the result aliases ws (or the cached original order) and must not be
+// retained past the workspace.
+func (e *Evaluator) orderWS(ws *engine.Workspace, bonus []float64) []int {
+	if isZero(bonus) {
+		return e.origOrd
+	}
+	// EffectiveScores over the cached identity indices takes the unrolled
+	// low-dimension dot-product fast path.
+	eff := rank.EffectiveScores(e.d, e.base, e.all, bonus, e.pol, ws.Eff(e.d.N()))
+	return rank.OrderInto(eff, ws.Ord(e.d.N()))
+}
+
+// selectWS returns the top-k prefix under bonus; same aliasing rules as
+// orderWS.
+func (e *Evaluator) selectWS(ws *engine.Workspace, bonus []float64, k float64) ([]int, error) {
+	cnt, err := rank.SelectCount(e.d.N(), k)
+	if err != nil {
+		return nil, err
+	}
+	return e.orderWS(ws, bonus)[:cnt], nil
+}
+
 // Order returns the full ranking under the given bonus vector (descending
 // effective score). A nil or all-zero bonus reproduces the original
 // ranking.
@@ -52,54 +87,84 @@ func (e *Evaluator) Order(bonus []float64) []int {
 	if isZero(bonus) {
 		return e.origOrd
 	}
-	eff := rank.EffectiveScoresAll(e.d, e.base, bonus, e.pol)
-	return rank.Order(eff)
+	ws := e.ws()
+	defer e.put(ws)
+	eff := rank.EffectiveScores(e.d, e.base, e.all, bonus, e.pol, ws.Eff(e.d.N()))
+	return rank.OrderInto(eff, make([]int, e.d.N()))
 }
 
 // Select returns the top-k fraction of the population under the bonus
 // vector, in ranked order.
 func (e *Evaluator) Select(bonus []float64, k float64) ([]int, error) {
-	cnt, err := rank.SelectCount(e.d.N(), k)
+	ws := e.ws()
+	defer e.put(ws)
+	sel, err := e.selectWS(ws, bonus, k)
 	if err != nil {
 		return nil, err
 	}
-	if isZero(bonus) {
-		return e.origOrd[:cnt], nil
+	out := make([]int, len(sel))
+	copy(out, sel)
+	return out, nil
+}
+
+// disparityInto writes the full-population disparity vector of the top-k
+// selection under bonus into dst.
+func (e *Evaluator) disparityInto(ws *engine.Workspace, bonus []float64, k float64, dst []float64) error {
+	sel, err := e.selectWS(ws, bonus, k)
+	if err != nil {
+		return err
 	}
-	eff := rank.EffectiveScoresAll(e.d, e.base, bonus, e.pol)
-	return rank.TopK(eff, cnt), nil
+	e.d.FairCentroidInto(sel, dst)
+	for j := range dst {
+		dst[j] -= e.centroid[j]
+	}
+	return nil
 }
 
 // Disparity returns the full-population disparity vector of the top-k
 // selection under the bonus vector.
 func (e *Evaluator) Disparity(bonus []float64, k float64) ([]float64, error) {
-	sel, err := e.Select(bonus, k)
-	if err != nil {
+	ws := e.ws()
+	defer e.put(ws)
+	out := make([]float64, e.d.NumFair())
+	if err := e.disparityInto(ws, bonus, k, out); err != nil {
 		return nil, err
 	}
-	return metrics.DisparityAgainst(e.d, sel, e.centroid), nil
+	return out, nil
+}
+
+// ndcgWS computes NDCG using workspace buffers.
+func (e *Evaluator) ndcgWS(ws *engine.Workspace, bonus []float64, k float64) (float64, error) {
+	return metrics.NDCGAtFrac(e.base, e.orderWS(ws, bonus), e.origOrd, k)
 }
 
 // NDCG returns the utility of the compensated ranking at selection
 // fraction k, with the uncompensated ranking as the ideal.
 func (e *Evaluator) NDCG(bonus []float64, k float64) (float64, error) {
-	return metrics.NDCGAtFrac(e.base, e.Order(bonus), e.origOrd, k)
+	ws := e.ws()
+	defer e.put(ws)
+	return e.ndcgWS(ws, bonus, k)
 }
 
 // LogDiscounted returns the logarithmically discounted disparity of the
 // full ranking under the bonus vector.
 func (e *Evaluator) LogDiscounted(bonus []float64, ld metrics.LogDiscount) ([]float64, error) {
-	return ld.Eval(e.d, e.Order(bonus))
+	ws := e.ws()
+	defer e.put(ws)
+	return ld.Eval(e.d, e.orderWS(ws, bonus))
 }
 
 // DisparateImpact returns the scaled disparate-impact vector of the top-k
 // selection under the bonus vector.
 func (e *Evaluator) DisparateImpact(bonus []float64, k float64) ([]float64, error) {
-	sel, err := e.Select(bonus, k)
+	ws := e.ws()
+	defer e.put(ws)
+	sel, err := e.selectWS(ws, bonus, k)
 	if err != nil {
 		return nil, err
 	}
-	return metrics.DisparateImpactWithin(e.d, e.all, sel), nil
+	out := make([]float64, e.d.NumFair())
+	return metrics.DisparateImpactWithinInto(e.d, e.all, sel, ws.Marks(e.d.N()), out), nil
 }
 
 // FPRDiff returns the per-group FPR difference vector of the top-k
@@ -108,21 +173,105 @@ func (e *Evaluator) FPRDiff(bonus []float64, k float64) ([]float64, error) {
 	if !e.d.HasOutcomes() {
 		return nil, fmt.Errorf("core: FPR evaluation requires outcomes")
 	}
-	sel, err := e.Select(bonus, k)
+	ws := e.ws()
+	defer e.put(ws)
+	sel, err := e.selectWS(ws, bonus, k)
 	if err != nil {
 		return nil, err
 	}
-	return metrics.FPRDiffWithin(e.d, e.all, sel), nil
+	out := make([]float64, e.d.NumFair())
+	return metrics.FPRDiffWithinInto(e.d, e.all, sel, ws.Marks(e.d.N()), out), nil
 }
 
-// FindScaleForNDCG binary-searches the proportional weight w in [0, 1] such
+// SweepPoint is one (bonus vector, selection fraction) evaluation of a
+// parallel sweep.
+type SweepPoint struct {
+	Bonus []float64
+	K     float64
+}
+
+// parallel fans n point evaluations over the engine worker pool, each
+// goroutine holding one pooled workspace for its whole share of the work.
+func (e *Evaluator) parallel(n int, fn func(ws *engine.Workspace, i int)) {
+	engine.ForEachWS(n, e.ws, e.put, fn)
+}
+
+// DisparitySweep evaluates the disparity of every sweep point in parallel
+// and returns the vectors in point order.
+func (e *Evaluator) DisparitySweep(points []SweepPoint) ([][]float64, error) {
+	out := make([][]float64, len(points))
+	errs := make([]error, len(points))
+	e.parallel(len(points), func(ws *engine.Workspace, i int) {
+		dst := make([]float64, e.d.NumFair())
+		if err := e.disparityInto(ws, points[i].Bonus, points[i].K, dst); err != nil {
+			errs[i] = err
+			return
+		}
+		out[i] = dst
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: sweep point %d (k=%g): %w", i, points[i].K, err)
+		}
+	}
+	return out, nil
+}
+
+// NDCGSweep evaluates the nDCG of every sweep point in parallel and
+// returns the values in point order.
+func (e *Evaluator) NDCGSweep(points []SweepPoint) ([]float64, error) {
+	out := make([]float64, len(points))
+	errs := make([]error, len(points))
+	e.parallel(len(points), func(ws *engine.Workspace, i int) {
+		out[i], errs[i] = e.ndcgWS(ws, points[i].Bonus, points[i].K)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: sweep point %d (k=%g): %w", i, points[i].K, err)
+		}
+	}
+	return out, nil
+}
+
+// DisparateImpactSweep evaluates the scaled disparate impact of every
+// sweep point in parallel and returns the vectors in point order.
+func (e *Evaluator) DisparateImpactSweep(points []SweepPoint) ([][]float64, error) {
+	out := make([][]float64, len(points))
+	errs := make([]error, len(points))
+	e.parallel(len(points), func(ws *engine.Workspace, i int) {
+		sel, err := e.selectWS(ws, points[i].Bonus, points[i].K)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		dst := make([]float64, e.d.NumFair())
+		out[i] = metrics.DisparateImpactWithinInto(e.d, e.all, sel, ws.Marks(e.d.N()), dst)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: sweep point %d (k=%g): %w", i, points[i].K, err)
+		}
+	}
+	return out, nil
+}
+
+// scaleProbes interior points per multisection round shrink the bracket by
+// a factor of scaleProbes+1; 18 rounds of 4 probes reach a bracket below
+// 2^-41, finer than the 40 bisection steps they replace.
+const (
+	scaleProbes = 4
+	scaleRounds = 18
+)
+
+// FindScaleForNDCG searches for the proportional weight w in [0, 1] such
 // that applying Scale(bonus, w) reaches the target nDCG at selection
 // fraction k (Section VI-A2: "the correct proportion of bonus points to
 // apply can be selected through a binary search"). nDCG decreases as w
 // grows, so the search brackets the largest w whose nDCG is still at least
-// target.
+// target. Each round evaluates its interior probe points concurrently on
+// the evaluator's worker pool (a multisection search): the probe count is
+// fixed, so the result is deterministic regardless of parallelism.
 func (e *Evaluator) FindScaleForNDCG(bonus []float64, k, target, granularity float64) (w float64, err error) {
-	lo, hi := 0.0, 1.0
 	full, err := e.NDCG(Scale(bonus, 1, granularity), k)
 	if err != nil {
 		return 0, err
@@ -130,17 +279,34 @@ func (e *Evaluator) FindScaleForNDCG(bonus []float64, k, target, granularity flo
 	if full >= target {
 		return 1, nil
 	}
-	for iter := 0; iter < 40; iter++ {
-		mid := (lo + hi) / 2
-		v, err := e.NDCG(Scale(bonus, mid, granularity), k)
-		if err != nil {
-			return 0, err
+	lo, hi := 0.0, 1.0
+	vals := make([]float64, scaleProbes)
+	errs := make([]error, scaleProbes)
+	for round := 0; round < scaleRounds; round++ {
+		width := hi - lo
+		e.parallel(scaleProbes, func(ws *engine.Workspace, i int) {
+			p := lo + width*float64(i+1)/float64(scaleProbes+1)
+			vals[i], errs[i] = e.ndcgWS(ws, Scale(bonus, p, granularity), k)
+		})
+		for _, err := range errs {
+			if err != nil {
+				return 0, err
+			}
 		}
-		if v >= target {
-			lo = mid
-		} else {
-			hi = mid
+		// Keep the rightmost sub-bracket whose left end still meets the
+		// target: [probe_m, probe_m+1) with m the largest passing probe.
+		m := -1
+		for i := 0; i < scaleProbes; i++ {
+			if vals[i] >= target {
+				m = i
+			}
 		}
+		newLo := lo
+		if m >= 0 {
+			newLo = lo + width*float64(m+1)/float64(scaleProbes+1)
+		}
+		hi = lo + width*float64(m+2)/float64(scaleProbes+1)
+		lo = newLo
 	}
 	return lo, nil
 }

@@ -67,7 +67,7 @@ func (e *Evaluator) Explain(bonus []float64, k float64) (*Explanation, error) {
 	if err != nil {
 		return nil, err
 	}
-	eff := rank.EffectiveScoresAll(e.d, e.base, bonus, e.pol)
+	eff := rank.EffectiveScoresAll(e.d, e.base, bonus, e.pol, nil)
 
 	exp := &Explanation{
 		K:         k,

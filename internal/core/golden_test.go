@@ -1,0 +1,165 @@
+package core
+
+import (
+	"strconv"
+	"testing"
+
+	"fairrank/internal/rank"
+	"fairrank/internal/synth"
+)
+
+// The engine refactor (workspace buffers, bound objectives, shared descent
+// loop) must not change a single bit of any trained vector: these hex
+// goldens were captured from the pre-engine implementation on a fixed
+// synthetic cohort and pin Run, CoreDCA, FullDCA, the log-discounted and
+// capped variants, and the ensemble aggregation exactly.
+
+func goldenDataset(t *testing.T) (*synth.SchoolConfig, rank.Scorer) {
+	t.Helper()
+	cfg := synth.DefaultSchoolConfig()
+	cfg.N = 4000
+	cfg.Seed = 99
+	return &cfg, rank.WeightedSum{Weights: synth.SchoolScoreWeights()}
+}
+
+func hexVec(strs []string) []float64 {
+	out := make([]float64, len(strs))
+	for i, s := range strs {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			panic(err)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func requireExact(t *testing.T, label string, got []float64, wantHex []string) {
+	t.Helper()
+	want := hexVec(wantHex)
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d dims, want %d", label, len(got), len(want))
+	}
+	for j := range want {
+		if got[j] != want[j] {
+			t.Errorf("%s[%d] = %s, want %s (not bit-identical)",
+				label, j, strconv.FormatFloat(got[j], 'x', -1, 64), wantHex[j])
+		}
+	}
+}
+
+func TestGoldenBitIdentical(t *testing.T) {
+	cfg, scorer := goldenDataset(t)
+	d, err := synth.GenerateSchool(*cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Seed = 7
+
+	run, err := Run(d, scorer, DisparityObjective(0.05), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireExact(t, "Run.Raw", run.Raw,
+		[]string{"0x1.0664043f94e33p+01", "0x1.5fcbfaed779c1p+03", "0x1.59f7a2e3064f6p+03", "0x1.828679e03e8efp+03"})
+	requireExact(t, "Run.CoreBonus", run.CoreBonus,
+		[]string{"0x1.51d453524a383p+01", "0x1.3b206acba3f7ap+03", "0x1.2fbdbbd4e3892p+03", "0x1.8169c6cad4b61p+03"})
+	requireExact(t, "Run.Bonus", run.Bonus,
+		[]string{"0x1p+01", "0x1.6p+03", "0x1.6p+03", "0x1.8p+03"})
+
+	coreRes, err := CoreDCA(d, scorer, DisparityObjective(0.05), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireExact(t, "CoreDCA.Raw", coreRes.Raw,
+		[]string{"0x1.51d453524a383p+01", "0x1.3b206acba3f7ap+03", "0x1.2fbdbbd4e3892p+03", "0x1.8169c6cad4b61p+03"})
+
+	full, err := FullDCA(d, scorer, DisparityObjective(0.05), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireExact(t, "FullDCA.Raw", full.Raw,
+		[]string{"0x1.2b0ee5f54f8b6p+01", "0x1.41a1d9cc0cd2bp+03", "0x1.2917603a3daddp+03", "0x1.7eac8a94c37fbp+03"})
+
+	ld, err := Run(d, scorer, LogDiscountedDisparity(0.1, 0.5), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireExact(t, "LogDiscounted.Raw", ld.Raw,
+		[]string{"0x1.0cdae287b6868p+01", "0x1.1d3fc411f1f8p+03", "0x1.e8354888c11fcp+02", "0x1.3d744c6fe953cp+03"})
+
+	capped := opts
+	capped.MaxBonus = 3
+	cp, err := Run(d, scorer, DisparityObjective(0.10), capped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireExact(t, "Capped.Raw", cp.Raw,
+		[]string{"0x1.8p+01", "0x1.8p+01", "0x1.8p+01", "0x1.8p+01"})
+}
+
+func TestGoldenEnsembleBitIdentical(t *testing.T) {
+	cfg, scorer := goldenDataset(t)
+	d, err := synth.GenerateSchool(*cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Seed = 7
+	ens, err := Ensemble(d, scorer, DisparityObjective(0.05), opts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireExact(t, "Ensemble.Mean", ens.Mean,
+		[]string{"0x1.010814898c614p+01", "0x1.611fa4a7d0636p+03", "0x1.56037e3c3bbb7p+03", "0x1.81563ba5f3801p+03"})
+	requireExact(t, "Ensemble.Std", ens.Std,
+		[]string{"0x1.7f38c6cf013d4p-05", "0x1.4aaa5b387724fp-04", "0x1.8b26984b5b115p-03", "0x1.4ad3565c67e72p-04"})
+}
+
+// TestTrainerReuseMatchesOneShot pins the workspace-reuse contract: a
+// Trainer run twice (buffers warm) must reproduce the one-shot result
+// exactly, and FullDCA through a reused Trainer must match the package
+// function.
+func TestTrainerReuseMatchesOneShot(t *testing.T) {
+	cfg, scorer := goldenDataset(t)
+	d, err := synth.GenerateSchool(*cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Seed = 11
+	obj := DisparityObjective(0.05)
+
+	oneShot, err := Run(d, scorer, obj, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTrainer(d, scorer)
+	if _, err := tr.Train(obj, opts); err != nil { // warm the buffers
+		t.Fatal(err)
+	}
+	warm, err := tr.Train(obj, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range oneShot.Raw {
+		if warm.Raw[j] != oneShot.Raw[j] {
+			t.Fatalf("warm Trainer Raw = %v, one-shot = %v", warm.Raw, oneShot.Raw)
+		}
+	}
+
+	fullPkg, err := FullDCA(d, scorer, obj, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullWarm, err := tr.TrainFull(obj, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range fullPkg.Raw {
+		if fullWarm.Raw[j] != fullPkg.Raw[j] {
+			t.Fatalf("warm TrainFull Raw = %v, package FullDCA = %v", fullWarm.Raw, fullPkg.Raw)
+		}
+	}
+}

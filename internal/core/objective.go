@@ -34,6 +34,7 @@ import (
 	"fmt"
 
 	"fairrank/internal/dataset"
+	"fairrank/internal/engine"
 	"fairrank/internal/metrics"
 	"fairrank/internal/rank"
 )
@@ -57,6 +58,65 @@ type PrefixMetric interface {
 	MetricName() string
 }
 
+// PrefixMetricInto is the in-place variant of PrefixMetric: EvalPrefixInto
+// writes the fairness vector into dst (length NumFair) drawing every
+// intermediate buffer from ws, so a call allocates nothing. All metrics in
+// this package implement it; third-party metrics that do not are adapted
+// through their allocating EvalPrefix.
+type PrefixMetricInto interface {
+	PrefixMetric
+	EvalPrefixInto(ws *engine.Workspace, d *dataset.Dataset, sampleIdx, selIdx []int, dst []float64)
+}
+
+// Binder is implemented by objectives that support the engine's one-time
+// bind stage: Bind performs every dataset validation Eval would (outcome
+// presence, evaluation points) exactly once and returns an allocation-free
+// bound form, so no validation error can surface mid-run after a
+// successful bind.
+type Binder interface {
+	Bind(d *dataset.Dataset) (engine.Objective, error)
+}
+
+// BindObjective binds obj to d for repeated evaluation through the engine.
+// Objectives implementing Binder get their allocation-free bound form; any
+// other Objective is adapted by copying its Eval result — correct, but
+// allocating per step.
+func BindObjective(obj Objective, d *dataset.Dataset) (engine.Objective, error) {
+	if b, ok := obj.(Binder); ok {
+		return b.Bind(d)
+	}
+	return legacyBound{obj: obj, d: d}, nil
+}
+
+// legacyBound adapts a plain Objective to the engine interface.
+type legacyBound struct {
+	obj Objective
+	d   *dataset.Dataset
+}
+
+// Name implements engine.Objective.
+func (l legacyBound) Name() string { return l.obj.Name() }
+
+// EvalInto implements engine.Objective.
+func (l legacyBound) EvalInto(_ *engine.Workspace, sampleIdx []int, eff []float64, dst []float64) error {
+	v, err := l.obj.Eval(l.d, sampleIdx, eff)
+	if err != nil {
+		return err
+	}
+	return copyObjectiveVec(dst, v, l.obj.Name())
+}
+
+// copyObjectiveVec copies a measured objective vector into the engine's
+// accumulator, failing loudly on a dimension mismatch — a silent partial
+// copy would leave stale values from the previous step in the tail.
+func copyObjectiveVec(dst, v []float64, name string) error {
+	if len(v) != len(dst) {
+		return fmt.Errorf("core: objective %s returned %d dimensions, dataset has %d", name, len(v), len(dst))
+	}
+	copy(dst, v)
+	return nil
+}
+
 // DisparityMetric is the paper's primary metric: the disparity vector of
 // Definition 3 computed within the sample.
 type DisparityMetric struct{}
@@ -69,6 +129,11 @@ func (DisparityMetric) EvalPrefix(d *dataset.Dataset, sampleIdx, selIdx []int) [
 	return metrics.DisparityWithin(d, sampleIdx, selIdx)
 }
 
+// EvalPrefixInto implements PrefixMetricInto.
+func (DisparityMetric) EvalPrefixInto(ws *engine.Workspace, d *dataset.Dataset, sampleIdx, selIdx []int, dst []float64) {
+	metrics.DisparityWithinInto(d, sampleIdx, selIdx, ws.Pop(), dst)
+}
+
 // DisparateImpactMetric is the scaled disparate impact of Section VI-C5.
 // Only meaningful for binary fairness attributes.
 type DisparateImpactMetric struct{}
@@ -79,6 +144,11 @@ func (DisparateImpactMetric) MetricName() string { return "disparate-impact" }
 // EvalPrefix implements PrefixMetric.
 func (DisparateImpactMetric) EvalPrefix(d *dataset.Dataset, sampleIdx, selIdx []int) []float64 {
 	return metrics.DisparateImpactWithin(d, sampleIdx, selIdx)
+}
+
+// EvalPrefixInto implements PrefixMetricInto.
+func (DisparateImpactMetric) EvalPrefixInto(ws *engine.Workspace, d *dataset.Dataset, sampleIdx, selIdx []int, dst []float64) {
+	metrics.DisparateImpactWithinInto(d, sampleIdx, selIdx, ws.Marks(d.N()), dst)
 }
 
 // FPRMetric is the per-group false positive rate difference (the
@@ -110,6 +180,11 @@ func (FPRMetric) EvalPrefix(d *dataset.Dataset, sampleIdx, selIdx []int) []float
 	return metrics.FPRDiffWithin(d, sampleIdx, selIdx)
 }
 
+// EvalPrefixInto implements PrefixMetricInto.
+func (FPRMetric) EvalPrefixInto(ws *engine.Workspace, d *dataset.Dataset, sampleIdx, selIdx []int, dst []float64) {
+	metrics.FPRDiffWithinInto(d, sampleIdx, selIdx, ws.Marks(d.N()), dst)
+}
+
 // AtK optimizes a prefix metric at a single known selection fraction K.
 type AtK struct {
 	K      float64
@@ -139,6 +214,48 @@ func (o AtK) Eval(d *dataset.Dataset, sampleIdx []int, eff []float64) ([]float64
 		return nil, err
 	}
 	return o.Metric.EvalPrefix(d, sampleIdx, sel), nil
+}
+
+// Bind implements Binder: outcome and selection-fraction validation
+// happens here, once, instead of on every descent step.
+func (o AtK) Bind(d *dataset.Dataset) (engine.Objective, error) {
+	if err := checkOutcomes(d, o.Metric); err != nil {
+		return nil, err
+	}
+	if err := rank.CheckFraction(o.K); err != nil {
+		return nil, err
+	}
+	b := &boundAtK{AtK: o, d: d}
+	b.into, _ = o.Metric.(PrefixMetricInto)
+	return b, nil
+}
+
+// boundAtK is the allocation-free bound form of AtK.
+type boundAtK struct {
+	AtK
+	d    *dataset.Dataset
+	into PrefixMetricInto // nil when the metric only supports EvalPrefix
+}
+
+// EvalInto implements engine.Objective. The bounded-heap selection and the
+// sample→absolute index mapping run entirely in workspace buffers; the
+// heap insertion sequence matches topAbs exactly, so the measured vector
+// is bit-identical to the legacy Eval path.
+func (o *boundAtK) EvalInto(ws *engine.Workspace, sampleIdx []int, eff []float64, dst []float64) error {
+	cnt, err := rank.SelectCount(len(sampleIdx), o.K)
+	if err != nil {
+		return err
+	}
+	pos := rank.TopKHeapInto(eff, cnt, ws.Sel(cnt))
+	abs := ws.Abs(len(pos))
+	for r, p := range pos {
+		abs[r] = sampleIdx[p]
+	}
+	if o.into != nil {
+		o.into.EvalPrefixInto(ws, o.d, sampleIdx, abs, dst)
+		return nil
+	}
+	return copyObjectiveVec(dst, o.Metric.EvalPrefix(o.d, sampleIdx, abs), o.Metric.MetricName())
 }
 
 // LogDiscounted optimizes a prefix metric over the whole ranking with the
@@ -199,6 +316,70 @@ func (o LogDiscounted) Eval(d *dataset.Dataset, sampleIdx []int, eff []float64) 
 		acc[j] /= z
 	}
 	return acc, nil
+}
+
+// Bind implements Binder: the evaluation points and outcome requirements
+// are validated here, once, instead of on every descent step.
+func (o LogDiscounted) Bind(d *dataset.Dataset) (engine.Objective, error) {
+	if len(o.Points) == 0 {
+		return nil, fmt.Errorf("core: log-discounted objective with no evaluation points")
+	}
+	for _, f := range o.Points {
+		if err := rank.CheckFraction(f); err != nil {
+			return nil, err
+		}
+	}
+	if err := checkOutcomes(d, o.Metric); err != nil {
+		return nil, err
+	}
+	b := &boundLogDiscounted{LogDiscounted: o, d: d, ld: metrics.LogDiscount{Points: o.Points}}
+	b.into, _ = o.Metric.(PrefixMetricInto)
+	return b, nil
+}
+
+// boundLogDiscounted is the allocation-free bound form of LogDiscounted.
+type boundLogDiscounted struct {
+	LogDiscounted
+	d    *dataset.Dataset
+	ld   metrics.LogDiscount
+	into PrefixMetricInto // nil when the metric only supports EvalPrefix
+}
+
+// EvalInto implements engine.Objective. The full-sample ordering, the
+// absolute index mapping and every per-prefix metric vector live in
+// workspace buffers; the accumulation order matches the legacy Eval path,
+// so results are bit-identical.
+func (o *boundLogDiscounted) EvalInto(ws *engine.Workspace, sampleIdx []int, eff []float64, dst []float64) error {
+	order := rank.OrderInto(eff, ws.Ord(len(eff)))
+	abs := ws.Abs(len(order))
+	for r, p := range order {
+		abs[r] = sampleIdx[p]
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	tmp := ws.Metric()
+	var z float64
+	for _, f := range o.Points {
+		cnt, err := rank.SelectCount(len(abs), f)
+		if err != nil {
+			return err
+		}
+		w := o.ld.Weight(f)
+		z += w
+		if o.into != nil {
+			o.into.EvalPrefixInto(ws, o.d, abs, abs[:cnt], tmp)
+		} else if err := copyObjectiveVec(tmp, o.Metric.EvalPrefix(o.d, abs, abs[:cnt]), o.Metric.MetricName()); err != nil {
+			return err
+		}
+		for j := range dst {
+			dst[j] += w * tmp[j]
+		}
+	}
+	for j := range dst {
+		dst[j] /= z
+	}
+	return nil
 }
 
 // topAbs selects the top fraction k of the sample by effective score and

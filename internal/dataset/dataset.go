@@ -123,6 +123,12 @@ func (d *Dataset) ScoreColumn(j int) []float64 { return d.score[j] }
 // not be modified.
 func (d *Dataset) FairColumn(j int) []float64 { return d.fair[j] }
 
+// FairColumns returns all fairness attribute columns. Neither the returned
+// slice nor the columns may be modified. Hot paths (effective-score
+// computation, centroid accumulation) use it to hoist the column lookups
+// out of their inner loops.
+func (d *Dataset) FairColumns() [][]float64 { return d.fair }
+
 // Score returns score attribute j of object i.
 func (d *Dataset) Score(i, j int) float64 { return d.score[j][i] }
 
@@ -179,18 +185,26 @@ func (d *Dataset) FairCentroid() []float64 {
 // the given object indices (the D_k of Definition 3 when idx is a selected
 // set). It returns the zero vector when idx is empty.
 func (d *Dataset) FairCentroidOf(idx []int) []float64 {
-	c := make([]float64, len(d.fair))
+	return d.FairCentroidInto(idx, make([]float64, len(d.fair)))
+}
+
+// FairCentroidInto is the in-place variant of FairCentroidOf: it writes the
+// centroid into dst (length NumFair) and returns dst, allocating nothing.
+func (d *Dataset) FairCentroidInto(idx []int, dst []float64) []float64 {
 	if len(idx) == 0 {
-		return c
+		for j := range dst {
+			dst[j] = 0
+		}
+		return dst
 	}
 	for j, col := range d.fair {
 		var s float64
 		for _, i := range idx {
 			s += col[i]
 		}
-		c[j] = s / float64(len(idx))
+		dst[j] = s / float64(len(idx))
 	}
-	return c
+	return dst
 }
 
 // Subset returns a new dataset containing the objects at the given indices,

@@ -1,0 +1,190 @@
+package engine
+
+import (
+	"fairrank/internal/dataset"
+	"fairrank/internal/optimize"
+	"fairrank/internal/rank"
+)
+
+// Objective is a fairness objective bound to a dataset and specialized for
+// repeated, allocation-free evaluation. Implementations are produced by a
+// one-time bind stage that performs all dataset validation (outcome
+// presence, evaluation points), so EvalInto can run on every descent step
+// without re-checking.
+//
+// EvalInto receives the sample (absolute object indices), the effective
+// bonus-adjusted scores aligned with the sample, and writes one value per
+// fairness dimension into dst, using ws for every intermediate buffer.
+type Objective interface {
+	EvalInto(ws *Workspace, sampleIdx []int, eff []float64, dst []float64) error
+	Name() string
+}
+
+// TraceStep is one observed descent step.
+type TraceStep struct {
+	Stage     string // "core", "refine" or "full"
+	Step      int    // step index within the stage sequence
+	LR        float64
+	Bonus     []float64 // copy of the bonus vector after the update
+	Objective []float64 // objective vector measured before the update
+}
+
+// Updater applies one measured objective vector to the bonus vector. It is
+// the pluggable update rule of the shared descent loop: the ladder SGD of
+// Algorithm 1 and the Adam refinement of Algorithm 2 are both Updaters.
+type Updater interface {
+	// Apply mutates b in place given the objective vector of 0-based step i
+	// and returns the learning rate used, for tracing.
+	Apply(b, dvec []float64, i int) float64
+	// AfterClamp observes b after the non-negativity/cap clamp of step i
+	// (e.g. for trailing-average accumulation over clamped iterates).
+	AfterClamp(b []float64, i int)
+}
+
+// Loop is the reusable descent loop of the engine. One Loop serves
+// Algorithm 1, the Adam refinement of Algorithm 2, and the whole-dataset
+// variant of Section IV-C; they differ only in the sample source and the
+// Updater handed to Descend.
+type Loop struct {
+	D        *dataset.Dataset
+	Base     []float64 // base scores, indexed by absolute object id
+	Obj      Objective
+	Polarity rank.Polarity
+	MaxBonus float64
+	WS       *Workspace
+	Trace    func(TraceStep)
+}
+
+// Descend runs steps descent steps, mutating b. next returns the sample of
+// the current step (absolute object indices; the engine does not retain
+// it past the step). stage tags trace records, whose step counter is
+// 1-based within the stage. It returns the number of steps completed.
+func (l *Loop) Descend(b []float64, steps int, next func() []int, upd Updater, stage string) (int, error) {
+	for i := 0; i < steps; i++ {
+		idx := next()
+		eff := rank.EffectiveScores(l.D, l.Base, idx, b, l.Polarity, l.WS.Eff(len(idx)))
+		dvec := l.WS.Objective()
+		if err := l.Obj.EvalInto(l.WS, idx, eff, dvec); err != nil {
+			return i, err
+		}
+		lr := upd.Apply(b, dvec, i)
+		ClampBonus(b, l.MaxBonus)
+		upd.AfterClamp(b, i)
+		if l.Trace != nil {
+			l.Trace(TraceStep{
+				Stage: stage, Step: i + 1, LR: lr,
+				Bonus:     append([]float64(nil), b...),
+				Objective: append([]float64(nil), dvec...),
+			})
+		}
+	}
+	return steps, nil
+}
+
+// ClampBonus enforces b >= 0 (the paper's "no penalties" requirement) and
+// the optional per-dimension cap.
+func ClampBonus(b []float64, maxBonus float64) {
+	for j := range b {
+		if b[j] < 0 {
+			b[j] = 0
+		}
+		if maxBonus > 0 && b[j] > maxBonus {
+			b[j] = maxBonus
+		}
+	}
+}
+
+// LadderUpdater is the update rule of Algorithm 1: plain descent along the
+// objective vector with the decreasing learning-rate ladder. Apply must be
+// called with consecutive step indices.
+type LadderUpdater struct {
+	Ladder optimize.Ladder
+	Sign   float64 // polarity sign: +1 beneficial, -1 adverse
+
+	stage int
+	used  int
+}
+
+// NewLadderUpdater returns a ladder updater for the given schedule and
+// polarity sign.
+func NewLadderUpdater(ladder optimize.Ladder, sign float64) *LadderUpdater {
+	return &LadderUpdater{Ladder: ladder, Sign: sign}
+}
+
+// Apply implements Updater.
+func (u *LadderUpdater) Apply(b, dvec []float64, i int) float64 {
+	for u.stage < len(u.Ladder) && u.used >= u.Ladder[u.stage].Steps {
+		u.stage++
+		u.used = 0
+	}
+	lr := u.Ladder[u.stage].LR
+	u.used++
+	for j := range b {
+		b[j] -= u.Sign * lr * dvec[j]
+	}
+	return lr
+}
+
+// AfterClamp implements Updater (no-op for the ladder).
+func (u *LadderUpdater) AfterClamp([]float64, int) {}
+
+// AdamUpdater is the update rule of Algorithm 2: Adam steps on the
+// objective vector plus a trailing average of the clamped iterates
+// ("the rolling average of the last window points").
+type AdamUpdater struct {
+	adam   *optimize.Adam
+	sign   float64
+	steps  int
+	window int
+	grad   []float64
+	sum    []float64
+	count  int
+}
+
+// NewAdamUpdater returns an Adam updater over dims dimensions running for
+// steps total steps, averaging the trailing window iterates (window <= 0
+// or > steps means all of them).
+func NewAdamUpdater(dims int, lr, sign float64, steps, window int) *AdamUpdater {
+	if window <= 0 || window > steps {
+		window = steps
+	}
+	return &AdamUpdater{
+		adam:   optimize.NewAdam(dims, lr),
+		sign:   sign,
+		steps:  steps,
+		window: window,
+		grad:   make([]float64, dims),
+		sum:    make([]float64, dims),
+	}
+}
+
+// Apply implements Updater.
+func (u *AdamUpdater) Apply(b, dvec []float64, i int) float64 {
+	for j := range u.grad {
+		u.grad[j] = u.sign * dvec[j]
+	}
+	u.adam.Step(b, u.grad)
+	return u.adam.LR
+}
+
+// AfterClamp implements Updater: accumulates the trailing average over the
+// clamped iterates.
+func (u *AdamUpdater) AfterClamp(b []float64, i int) {
+	if i >= u.steps-u.window {
+		for j := range u.sum {
+			u.sum[j] += b[j]
+		}
+		u.count++
+	}
+}
+
+// Average overwrites b with the trailing average of the accumulated
+// iterates; it is a no-op when no iterate was accumulated.
+func (u *AdamUpdater) Average(b []float64) {
+	if u.count == 0 {
+		return
+	}
+	for j := range b {
+		b[j] = u.sum[j] / float64(u.count)
+	}
+}

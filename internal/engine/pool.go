@@ -1,0 +1,60 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn for every index 0..n-1 across min(GOMAXPROCS, n) worker
+// goroutines, handing each goroutine its own fresh Workspace over dims
+// fairness dimensions. fn must record results and errors into
+// index-addressed slices it owns, which keeps aggregation deterministic
+// regardless of scheduling. ForEach returns after every task has
+// completed.
+func ForEach(n, dims int, fn func(ws *Workspace, i int)) {
+	ForEachWS(n,
+		func() *Workspace { return NewWorkspace(dims) },
+		func(*Workspace) {},
+		fn)
+}
+
+// ForEachWS is ForEach with caller-controlled workspace acquisition: each
+// worker goroutine gets one workspace from get and returns it through put
+// when its share of the work is done. Callers with a long-lived workspace
+// pool (e.g. an Evaluator's sync.Pool) use this to recycle buffers across
+// calls.
+func ForEachWS(n int, get func() *Workspace, put func(*Workspace), fn func(ws *Workspace, i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		ws := get()
+		defer put(ws)
+		for i := 0; i < n; i++ {
+			fn(ws, i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := get()
+			defer put(ws)
+			for i := range next {
+				fn(ws, i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

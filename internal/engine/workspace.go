@@ -1,0 +1,117 @@
+// Package engine provides the reusable score→select→measure machinery
+// behind DCA: a preallocated scratch Workspace, a single descent loop
+// parameterized by a sample source and an update rule, and a worker pool
+// that gives every goroutine its own Workspace.
+//
+// The paper's efficiency claim — sampling-based DCA is sub-linear and fast
+// enough for interactive what-if iteration — only holds if the per-step
+// cost is dominated by arithmetic, not by allocation and hashing. The
+// engine therefore owns every buffer of the hot path (effective scores,
+// selection indices, per-dimension objective accumulators) and exposes
+// in-place variants of the objective API so a descent step allocates
+// nothing.
+//
+// Layering: engine sits below core. It depends only on dataset, rank,
+// metrics, sample and optimize; core binds its objectives to the engine's
+// Objective interface and drives the loop.
+package engine
+
+// Workspace owns the scratch buffers of one descent or evaluation
+// goroutine. All buffers grow on demand and are reused across steps, so
+// the steady-state allocation count of a descent step is zero.
+//
+// A Workspace is not safe for concurrent use: create one per goroutine
+// (see ForEach, which does exactly that).
+type Workspace struct {
+	dims int
+
+	eff  []float64 // effective-score buffer, one entry per sampled object
+	obj  []float64 // objective accumulator, one entry per fairness dim
+	met  []float64 // per-prefix metric scratch (log-discounted objectives)
+	pop  []float64 // sample-centroid scratch
+	sel  []int     // selection (top-k) index buffer
+	abs  []int     // absolute-object-index buffer
+	ord  []int     // full-ordering buffer
+	smp  []int     // per-step sample index buffer
+	mark []bool    // absolute-id membership marks (kept all-false between uses)
+}
+
+// NewWorkspace returns a workspace for objectives over dims fairness
+// dimensions. Buffers are allocated lazily on first use.
+func NewWorkspace(dims int) *Workspace {
+	return &Workspace{
+		dims: dims,
+		obj:  make([]float64, dims),
+		met:  make([]float64, dims),
+		pop:  make([]float64, dims),
+	}
+}
+
+// Dims reports the fairness dimensionality the workspace was created for.
+func (w *Workspace) Dims() int { return w.dims }
+
+// Eff returns the effective-score buffer resized to n.
+func (w *Workspace) Eff(n int) []float64 {
+	w.eff = growFloats(w.eff, n)
+	return w.eff
+}
+
+// Objective returns the per-dimension objective accumulator.
+func (w *Workspace) Objective() []float64 { return w.obj }
+
+// Metric returns the per-dimension scratch used for intermediate metric
+// vectors (e.g. one prefix of a log-discounted objective).
+func (w *Workspace) Metric() []float64 { return w.met }
+
+// Pop returns the per-dimension centroid scratch.
+func (w *Workspace) Pop() []float64 { return w.pop }
+
+// Sel returns the selection index buffer resized to n.
+func (w *Workspace) Sel(n int) []int {
+	w.sel = growInts(w.sel, n)
+	return w.sel
+}
+
+// Abs returns the absolute-index buffer resized to n.
+func (w *Workspace) Abs(n int) []int {
+	w.abs = growInts(w.abs, n)
+	return w.abs
+}
+
+// Ord returns the ordering buffer resized to n.
+func (w *Workspace) Ord(n int) []int {
+	w.ord = growInts(w.ord, n)
+	return w.ord
+}
+
+// SampleBuf returns the per-step sample index buffer resized to n. It is
+// distinct from Sel/Abs/Ord because the sample must stay live while the
+// objective evaluation uses those buffers.
+func (w *Workspace) SampleBuf(n int) []int {
+	w.smp = growInts(w.smp, n)
+	return w.smp
+}
+
+// Marks returns the membership-mark buffer sized for a universe of n
+// absolute object ids. Callers must reset every mark they set before
+// returning, so the buffer stays all-false between uses.
+func (w *Workspace) Marks(n int) []bool {
+	if cap(w.mark) < n {
+		w.mark = make([]bool, n)
+	}
+	return w.mark[:n]
+}
+
+func growFloats(b []float64, n int) []float64 {
+	if cap(b) < n {
+		return make([]float64, n)
+	}
+	return b[:n]
+}
+
+func growInts(b []int, n int) []int {
+	if cap(b) < n {
+		return make([]int, n)
+	}
+	return b[:n]
+}

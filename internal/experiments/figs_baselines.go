@@ -52,9 +52,10 @@ func Fig6(env *Env) (Renderable, error) {
 		Title: fmt.Sprintf("Figure 6: single-quota baseline across k (reserve=%.2f, test cohort)", reserve),
 		XName: "k", X: env.Cfg.KSweep,
 	}
+	origOrder := testEval.Order(nil) // cached: one ranking for every k
 	series := make([][]float64, len(names)+1)
 	for _, k := range env.Cfg.KSweep {
-		sel, err := q.Select(test, testEval.BaseScores(), k)
+		sel, err := q.SelectOrdered(test, origOrder, k)
 		if err != nil {
 			return nil, err
 		}
@@ -195,28 +196,28 @@ func Fig9(env *Env) (Renderable, error) {
 
 	ev := core.NewEvaluator(testView, scorer, rank.Beneficial)
 	s := &report.Series{Title: "Figure 9: disparity norm and disparate impact, optimizing either metric (test cohort)", XName: "k", X: env.Cfg.KSweep}
-	var ddNorm, ddDI, diNorm, diDI []float64
+	// Both trained vectors at every k, evaluated on the parallel sweep
+	// layer: points alternate (disparity-trained, DI-trained) per k.
+	points := make([]core.SweepPoint, 0, 2*len(env.Cfg.KSweep))
 	for _, k := range env.Cfg.KSweep {
-		d1, err := ev.Disparity(dispRes.Bonus, k)
-		if err != nil {
-			return nil, err
-		}
-		i1, err := ev.DisparateImpact(dispRes.Bonus, k)
-		if err != nil {
-			return nil, err
-		}
-		d2, err := ev.Disparity(diRes.Bonus, k)
-		if err != nil {
-			return nil, err
-		}
-		i2, err := ev.DisparateImpact(diRes.Bonus, k)
-		if err != nil {
-			return nil, err
-		}
-		ddNorm = append(ddNorm, metrics.Norm(d1))
-		ddDI = append(ddDI, metrics.Norm(i1))
-		diNorm = append(diNorm, metrics.Norm(d2))
-		diDI = append(diDI, metrics.Norm(i2))
+		points = append(points,
+			core.SweepPoint{Bonus: dispRes.Bonus, K: k},
+			core.SweepPoint{Bonus: diRes.Bonus, K: k})
+	}
+	disps, err := ev.DisparitySweep(points)
+	if err != nil {
+		return nil, err
+	}
+	impacts, err := ev.DisparateImpactSweep(points)
+	if err != nil {
+		return nil, err
+	}
+	var ddNorm, ddDI, diNorm, diDI []float64
+	for i := 0; i < len(points); i += 2 {
+		ddNorm = append(ddNorm, metrics.Norm(disps[i]))
+		ddDI = append(ddDI, metrics.Norm(impacts[i]))
+		diNorm = append(diNorm, metrics.Norm(disps[i+1]))
+		diDI = append(diDI, metrics.Norm(impacts[i+1]))
 	}
 	s.Add("DCA(disparity):disparity-norm", ddNorm)
 	s.Add("DCA(disparity):DI-norm", ddDI)

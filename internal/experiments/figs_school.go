@@ -14,17 +14,17 @@ func Fig1(env *Env) (Renderable, error) {
 		return nil, err
 	}
 	s := &report.Series{Title: "Figure 1: nDCG@k on the school test cohort", XName: "k", X: env.Cfg.KSweep}
-	var ndcg []float64
+	points := make([]core.SweepPoint, 0, len(env.Cfg.KSweep))
 	for _, k := range env.Cfg.KSweep {
 		res, err := env.DCAAtK(k)
 		if err != nil {
 			return nil, err
 		}
-		v, err := testEval.NDCG(res.Bonus, k)
-		if err != nil {
-			return nil, err
-		}
-		ndcg = append(ndcg, v)
+		points = append(points, core.SweepPoint{Bonus: res.Bonus, K: k})
+	}
+	ndcg, err := testEval.NDCGSweep(points)
+	if err != nil {
+		return nil, err
 	}
 	s.Add("nDCG", ndcg)
 	return s, nil
@@ -43,19 +43,21 @@ func Fig2(env *Env) (Renderable, error) {
 		return nil, err
 	}
 	s := &report.Series{Title: "Figure 2: utility vs disparity across bonus proportion (test cohort, k=5%)", XName: "proportion", X: env.Cfg.WSweep}
-	var norms, ndcgs []float64
-	for _, w := range env.Cfg.WSweep {
-		scaled := core.Scale(res.Bonus, w, 0.5)
-		disp, err := testEval.Disparity(scaled, k)
-		if err != nil {
-			return nil, err
-		}
-		norms = append(norms, metrics.Norm(disp))
-		u, err := testEval.NDCG(scaled, k)
-		if err != nil {
-			return nil, err
-		}
-		ndcgs = append(ndcgs, u)
+	points := make([]core.SweepPoint, len(env.Cfg.WSweep))
+	for i, w := range env.Cfg.WSweep {
+		points[i] = core.SweepPoint{Bonus: core.Scale(res.Bonus, w, 0.5), K: k}
+	}
+	disps, err := testEval.DisparitySweep(points)
+	if err != nil {
+		return nil, err
+	}
+	ndcgs, err := testEval.NDCGSweep(points)
+	if err != nil {
+		return nil, err
+	}
+	norms := make([]float64, len(disps))
+	for i, disp := range disps {
+		norms[i] = metrics.Norm(disp)
 	}
 	s.Add("disparity-norm", norms)
 	s.Add("nDCG", ndcgs)
@@ -77,12 +79,16 @@ func Fig3(env *Env) (Renderable, error) {
 	}
 	names := testEval.Dataset().FairNames()
 	s := &report.Series{Title: "Figure 3: per-dimension disparity across bonus proportion (test cohort, k=5%)", XName: "proportion", X: env.Cfg.WSweep}
+	points := make([]core.SweepPoint, len(env.Cfg.WSweep))
+	for i, w := range env.Cfg.WSweep {
+		points[i] = core.SweepPoint{Bonus: core.Scale(res.Bonus, w, 0.5), K: k}
+	}
+	disps, err := testEval.DisparitySweep(points)
+	if err != nil {
+		return nil, err
+	}
 	series := make([][]float64, len(names)+1)
-	for _, w := range env.Cfg.WSweep {
-		disp, err := testEval.Disparity(core.Scale(res.Bonus, w, 0.5), k)
-		if err != nil {
-			return nil, err
-		}
+	for _, disp := range disps {
 		for j := range names {
 			series[j] = append(series[j], disp[j])
 		}
@@ -95,20 +101,26 @@ func Fig3(env *Env) (Renderable, error) {
 	return s, nil
 }
 
-// disparitySweep evaluates a per-k bonus supplier across the k sweep and
-// returns per-dimension + norm series on the given evaluator.
+// disparitySweep evaluates a per-k bonus supplier across the k sweep on
+// the evaluator's parallel sweep layer and returns per-dimension + norm
+// series. bonusFor runs sequentially (it may train memoized vectors); only
+// the evaluations fan out.
 func disparitySweep(env *Env, ev *core.Evaluator, bonusFor func(k float64) ([]float64, error)) (map[string][]float64, error) {
 	names := ev.Dataset().FairNames()
-	out := make(map[string][]float64, len(names)+1)
+	points := make([]core.SweepPoint, 0, len(env.Cfg.KSweep))
 	for _, k := range env.Cfg.KSweep {
 		b, err := bonusFor(k)
 		if err != nil {
 			return nil, err
 		}
-		disp, err := ev.Disparity(b, k)
-		if err != nil {
-			return nil, err
-		}
+		points = append(points, core.SweepPoint{Bonus: b, K: k})
+	}
+	disps, err := ev.DisparitySweep(points)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]float64, len(names)+1)
+	for _, disp := range disps {
 		for j, n := range names {
 			out[n] = append(out[n], disp[j])
 		}

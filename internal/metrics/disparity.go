@@ -54,12 +54,20 @@ func DisparityAgainst(d *dataset.Dataset, selected []int, popCentroid []float64)
 // D_s = D_sk - D_sO. sampleIdx and selIdx hold absolute object indices;
 // selIdx must be a subset of sampleIdx.
 func DisparityWithin(d *dataset.Dataset, sampleIdx, selIdx []int) []float64 {
-	pop := d.FairCentroidOf(sampleIdx)
-	sel := d.FairCentroidOf(selIdx)
-	for j := range sel {
-		sel[j] -= pop[j]
+	return DisparityWithinInto(d, sampleIdx, selIdx, make([]float64, d.NumFair()), make([]float64, d.NumFair()))
+}
+
+// DisparityWithinInto is the in-place variant of DisparityWithin: popBuf
+// receives the sample centroid, dst the disparity vector (both length
+// NumFair). It allocates nothing and returns dst — the per-step form used
+// by the engine hot path.
+func DisparityWithinInto(d *dataset.Dataset, sampleIdx, selIdx []int, popBuf, dst []float64) []float64 {
+	d.FairCentroidInto(sampleIdx, popBuf)
+	d.FairCentroidInto(selIdx, dst)
+	for j := range dst {
+		dst[j] -= popBuf[j]
 	}
-	return sel
+	return dst
 }
 
 // LogDiscount configures the logarithmically discounted disparity of

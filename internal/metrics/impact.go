@@ -20,12 +20,23 @@ func DisparateImpact(d *dataset.Dataset, selected []int) []float64 {
 // sampleIdx only, with selIdx ⊆ sampleIdx the selected objects. DCA uses it
 // to evaluate the objective on small samples.
 func DisparateImpactWithin(d *dataset.Dataset, sampleIdx, selIdx []int) []float64 {
+	return DisparateImpactWithinInto(d, sampleIdx, selIdx, make([]bool, d.N()), make([]float64, d.NumFair()))
+}
+
+// DisparateImpactWithinInto is the in-place variant of
+// DisparateImpactWithin: mark is an all-false membership scratch indexed by
+// absolute object id (length N, left all-false on return) and dst receives
+// the impact vector (length NumFair). It allocates nothing and returns dst.
+func DisparateImpactWithinInto(d *dataset.Dataset, sampleIdx, selIdx []int, mark []bool, dst []float64) []float64 {
 	dims := d.NumFair()
-	out := make([]float64, dims)
+	out := dst
+	for j := range out {
+		out[j] = 0
+	}
 	if len(sampleIdx) == 0 {
 		return out
 	}
-	isSel := make(map[int]bool, len(selIdx))
+	isSel := mark
 	for _, i := range selIdx {
 		isSel[i] = true
 	}
@@ -69,6 +80,9 @@ func DisparateImpactWithin(d *dataset.Dataset, sampleIdx, selIdx []int) []float6
 			}
 		}
 	}
+	for _, i := range selIdx {
+		isSel[i] = false
+	}
 	return out
 }
 
@@ -85,12 +99,23 @@ func FPRDiff(d *dataset.Dataset, selected []int) []float64 {
 // FPRDiffWithin is FPRDiff computed over the sub-population sampleIdx only,
 // with selIdx ⊆ sampleIdx the flagged objects.
 func FPRDiffWithin(d *dataset.Dataset, sampleIdx, selIdx []int) []float64 {
+	return FPRDiffWithinInto(d, sampleIdx, selIdx, make([]bool, d.N()), make([]float64, d.NumFair()))
+}
+
+// FPRDiffWithinInto is the in-place variant of FPRDiffWithin: mark is an
+// all-false membership scratch indexed by absolute object id (length N,
+// left all-false on return) and dst receives the FPR-difference vector
+// (length NumFair). It allocates nothing and returns dst.
+func FPRDiffWithinInto(d *dataset.Dataset, sampleIdx, selIdx []int, mark []bool, dst []float64) []float64 {
 	dims := d.NumFair()
-	out := make([]float64, dims)
+	out := dst
+	for j := range out {
+		out[j] = 0
+	}
 	if len(sampleIdx) == 0 || !d.HasOutcomes() {
 		return out
 	}
-	isSel := make(map[int]bool, len(selIdx))
+	isSel := mark
 	for _, i := range selIdx {
 		isSel[i] = true
 	}
@@ -103,25 +128,27 @@ func FPRDiffWithin(d *dataset.Dataset, sampleIdx, selIdx []int) []float64 {
 			}
 		}
 	}
-	if negAll == 0 {
-		return out
-	}
-	overall := float64(fpAll) / float64(negAll)
-	for j := 0; j < dims; j++ {
-		col := d.FairColumn(j)
-		var fp, neg int
-		for _, i := range sampleIdx {
-			if col[i] > 0.5 && !d.Outcome(i) {
-				neg++
-				if isSel[i] {
-					fp++
+	if negAll > 0 {
+		overall := float64(fpAll) / float64(negAll)
+		for j := 0; j < dims; j++ {
+			col := d.FairColumn(j)
+			var fp, neg int
+			for _, i := range sampleIdx {
+				if col[i] > 0.5 && !d.Outcome(i) {
+					neg++
+					if isSel[i] {
+						fp++
+					}
 				}
 			}
+			if neg == 0 {
+				continue
+			}
+			out[j] = float64(fp)/float64(neg) - overall
 		}
-		if neg == 0 {
-			continue
-		}
-		out[j] = float64(fp)/float64(neg) - overall
+	}
+	for _, i := range selIdx {
+		isSel[i] = false
 	}
 	return out
 }

@@ -9,7 +9,7 @@ package rank
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"fairrank/internal/dataset"
 )
@@ -105,21 +105,50 @@ func (p Precomputed) BaseScores(d *dataset.Dataset) []float64 {
 // listed in idx, writing into dst (allocated when nil) and returning it.
 // base is indexed by absolute object id. With Adverse polarity the bonus is
 // subtracted, lowering the (undesirable) score of compensated objects.
+//
+// The common low-dimensional cases unroll the bonus dot product with the
+// fairness columns hoisted out of the loop; the summation order (ascending
+// dimension) matches FairDot exactly, so results are bit-identical.
 func EffectiveScores(d *dataset.Dataset, base []float64, idx []int, bonus []float64, pol Polarity, dst []float64) []float64 {
 	if dst == nil {
 		dst = make([]float64, len(idx))
 	}
 	sign := pol.Sign()
-	for r, i := range idx {
-		dst[r] = base[i] + sign*d.FairDot(i, bonus)
+	cols := d.FairColumns()
+	switch len(cols) {
+	case 2:
+		c0, c1 := cols[0], cols[1]
+		b0, b1 := bonus[0], bonus[1]
+		for r, i := range idx {
+			dst[r] = base[i] + sign*(c0[i]*b0+c1[i]*b1)
+		}
+	case 3:
+		c0, c1, c2 := cols[0], cols[1], cols[2]
+		b0, b1, b2 := bonus[0], bonus[1], bonus[2]
+		for r, i := range idx {
+			dst[r] = base[i] + sign*(c0[i]*b0+c1[i]*b1+c2[i]*b2)
+		}
+	case 4:
+		c0, c1, c2, c3 := cols[0], cols[1], cols[2], cols[3]
+		b0, b1, b2, b3 := bonus[0], bonus[1], bonus[2], bonus[3]
+		for r, i := range idx {
+			dst[r] = base[i] + sign*(c0[i]*b0+c1[i]*b1+c2[i]*b2+c3[i]*b3)
+		}
+	default:
+		for r, i := range idx {
+			dst[r] = base[i] + sign*d.FairDot(i, bonus)
+		}
 	}
 	return dst
 }
 
-// EffectiveScoresAll is EffectiveScores over the entire dataset.
-func EffectiveScoresAll(d *dataset.Dataset, base, bonus []float64, pol Polarity) []float64 {
+// EffectiveScoresAll is EffectiveScores over the entire dataset, writing
+// into dst (allocated when nil) and returning it.
+func EffectiveScoresAll(d *dataset.Dataset, base, bonus []float64, pol Polarity, dst []float64) []float64 {
 	n := d.N()
-	dst := make([]float64, n)
+	if dst == nil {
+		dst = make([]float64, n)
+	}
 	sign := pol.Sign()
 	for i := 0; i < n; i++ {
 		dst[i] = base[i] + sign*d.FairDot(i, bonus)
@@ -127,11 +156,21 @@ func EffectiveScoresAll(d *dataset.Dataset, base, bonus []float64, pol Polarity)
 	return dst
 }
 
+// CheckFraction validates a selection fraction (the paper's k): it must
+// lie in (0, 1]. The check is population-independent, which lets
+// objectives validate their fractions once at bind time.
+func CheckFraction(frac float64) error {
+	if math.IsNaN(frac) || frac <= 0 || frac > 1 {
+		return fmt.Errorf("rank: selection fraction %v outside (0,1]", frac)
+	}
+	return nil
+}
+
 // SelectCount converts a selection fraction (the paper's k, in (0, 1]) into
 // a count over n objects: round-half-up, at least 1, at most n.
 func SelectCount(n int, frac float64) (int, error) {
-	if math.IsNaN(frac) || frac <= 0 || frac > 1 {
-		return 0, fmt.Errorf("rank: selection fraction %v outside (0,1]", frac)
+	if err := CheckFraction(frac); err != nil {
+		return 0, err
 	}
 	k := int(frac*float64(n) + 0.5)
 	if k < 1 {
@@ -156,11 +195,26 @@ func higher(scores []float64, a, b int) bool {
 // Order returns all indices 0..len(scores)-1 sorted by descending score
 // (ties by ascending index). This is the full ranking R of the paper.
 func Order(scores []float64) []int {
-	idx := make([]int, len(scores))
+	return OrderInto(scores, make([]int, len(scores)))
+}
+
+// OrderInto is the in-place variant of Order: it fills idx (length
+// len(scores)) with the descending ranking and returns it, allocating
+// nothing. The index tie-break makes the comparator a total order, so the
+// result is the unique ranking regardless of sorting algorithm.
+func OrderInto(scores []float64, idx []int) []int {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool { return higher(scores, idx[a], idx[b]) })
+	slices.SortFunc(idx, func(a, b int) int {
+		if a == b {
+			return 0
+		}
+		if higher(scores, a, b) {
+			return -1
+		}
+		return 1
+	})
 	return idx
 }
 
@@ -228,51 +282,63 @@ func partition(scores []float64, idx []int, lo, hi int) int {
 // unspecified order using a bounded min-heap: O(n log k) time, O(k) space.
 // Membership is identical to TopK's first k elements.
 func TopKHeap(scores []float64, k int) []int {
+	return TopKHeapInto(scores, k, make([]int, 0, k))
+}
+
+// TopKHeapInto is the in-place variant of TopKHeap: buf provides the heap
+// storage (its capacity must be at least k; its length is ignored) and the
+// selected indices are returned in buf[:k]. The heap insertion sequence is
+// identical to TopKHeap's, so the returned order matches exactly.
+func TopKHeapInto(scores []float64, k int, buf []int) []int {
 	checkK(len(scores), k)
 	if k == 0 {
 		return nil
 	}
-	h := make([]int, 0, k)
-	// lower reports whether a ranks below b (a is the weaker item).
-	lower := func(a, b int) bool { return higher(scores, b, a) }
-	siftDown := func(root int) {
-		for {
-			child := 2*root + 1
-			if child >= len(h) {
-				return
-			}
-			if child+1 < len(h) && lower(h[child+1], h[child]) {
-				child++
-			}
-			if !lower(h[child], h[root]) {
-				return
-			}
-			h[root], h[child] = h[child], h[root]
-			root = child
-		}
-	}
-	siftUp := func(node int) {
-		for node > 0 {
-			parent := (node - 1) / 2
-			if !lower(h[node], h[parent]) {
-				return
-			}
-			h[node], h[parent] = h[parent], h[node]
-			node = parent
-		}
-	}
+	h := buf[:0]
+	// Closure-free min-heap so the hot loop allocates nothing; an item a is
+	// "lower" (weaker) than b when higher(scores, b, a).
 	for i := range scores {
 		if len(h) < k {
 			h = append(h, i)
-			siftUp(len(h) - 1)
+			heapSiftUp(scores, h, len(h)-1)
 			continue
 		}
-		if lower(h[0], i) { // i outranks the current weakest
+		if higher(scores, i, h[0]) { // i outranks the current weakest
 			h[0] = i
-			siftDown(0)
+			heapSiftDown(scores, h, 0)
 		}
 	}
 	return h
+}
+
+// heapSiftUp restores the min-heap property upward from node.
+func heapSiftUp(scores []float64, h []int, node int) {
+	for node > 0 {
+		parent := (node - 1) / 2
+		if !higher(scores, h[parent], h[node]) {
+			return
+		}
+		h[node], h[parent] = h[parent], h[node]
+		node = parent
+	}
+}
+
+// heapSiftDown restores the min-heap property downward from root.
+func heapSiftDown(scores []float64, h []int, root int) {
+	for {
+		child := 2*root + 1
+		if child >= len(h) {
+			return
+		}
+		if child+1 < len(h) && higher(scores, h[child], h[child+1]) {
+			child++
+		}
+		if !higher(scores, h[root], h[child]) {
+			return
+		}
+		h[root], h[child] = h[child], h[root]
+		root = child
+	}
 }
 
 func checkK(n, k int) {

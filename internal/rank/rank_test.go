@@ -76,7 +76,7 @@ func TestEffectiveScoresPolarity(t *testing.T) {
 	if adv[0] != 10-4 || adv[1] != 10 {
 		t.Errorf("adverse scores = %v, want [6 10]", adv)
 	}
-	all := EffectiveScoresAll(d, base, bonus, Beneficial)
+	all := EffectiveScoresAll(d, base, bonus, Beneficial, nil)
 	if !reflect.DeepEqual(all, ben) {
 		t.Errorf("EffectiveScoresAll = %v, want %v", all, ben)
 	}

@@ -20,6 +20,13 @@ type Sampler struct {
 	// epoch state for Next.
 	perm []int
 	pos  int
+
+	// displacement table for Uniform/UniformInto: a generation-stamped
+	// sparse array standing in for the map of a partial Fisher-Yates
+	// shuffle, so repeated draws allocate nothing and never hash.
+	dispVal []int
+	dispGen []uint32
+	gen     uint32
 }
 
 // New returns a sampler over the population {0, ..., n-1} seeded with seed.
@@ -35,30 +42,49 @@ func (s *Sampler) N() int { return s.n }
 func (s *Sampler) Rand() *rand.Rand { return s.rng }
 
 // Uniform returns k distinct indices drawn uniformly at random, using a
-// partial Fisher-Yates shuffle in O(k) extra space. It panics if k > n.
+// partial Fisher-Yates shuffle. It panics if k > n.
 func (s *Sampler) Uniform(k int) []int {
+	return s.UniformInto(make([]int, k))
+}
+
+// UniformInto fills dst with len(dst) distinct indices drawn uniformly at
+// random and returns it. It is the allocation-free variant of Uniform: the
+// partial Fisher-Yates displacement table is a generation-stamped array
+// owned by the sampler, so steady-state draws allocate nothing. The random
+// stream consumed is identical to Uniform's. It panics if len(dst) > n.
+func (s *Sampler) UniformInto(dst []int) []int {
+	k := len(dst)
 	if k > s.n {
 		panic(fmt.Sprintf("sample: requested %d of %d", k, s.n))
 	}
-	// Partial shuffle over a virtual identity permutation: remember only the
-	// displaced entries.
-	displaced := make(map[int]int, 2*k)
-	out := make([]int, k)
+	if s.dispVal == nil {
+		s.dispVal = make([]int, s.n)
+		s.dispGen = make([]uint32, s.n)
+	}
+	s.gen++
+	if s.gen == 0 { // stamp wrap: invalidate every entry explicitly
+		for i := range s.dispGen {
+			s.dispGen[i] = 0
+		}
+		s.gen = 1
+	}
+	// Partial shuffle over a virtual identity permutation: remember only
+	// the displaced entries.
 	for i := 0; i < k; i++ {
 		j := i + s.rng.Intn(s.n-i)
-		vj, ok := displaced[j]
-		if !ok {
-			vj = j
+		vj := j
+		if s.dispGen[j] == s.gen {
+			vj = s.dispVal[j]
 		}
-		vi, ok := displaced[i]
-		if !ok {
-			vi = i
+		vi := i
+		if s.dispGen[i] == s.gen {
+			vi = s.dispVal[i]
 		}
-		out[i] = vj
-		displaced[j] = vi
-		displaced[i] = vj
+		dst[i] = vj
+		s.dispVal[j], s.dispGen[j] = vi, s.gen
+		s.dispVal[i], s.dispGen[i] = vj, s.gen
 	}
-	return out
+	return dst
 }
 
 // WithReplacement returns k indices drawn independently and uniformly.
