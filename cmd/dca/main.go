@@ -16,9 +16,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
-	"strconv"
-	"strings"
 
 	"fairrank"
 	"fairrank/internal/metrics"
@@ -40,58 +39,42 @@ func main() {
 		explain     = flag.Bool("explain", false, "print the transparency report (cutoff, per-group counts, beneficiaries)")
 	)
 	flag.Parse()
+
+	// Validate every flag before any file is opened or parsed: a typo'd
+	// objective or an out-of-range fraction should fail as a usage error,
+	// not after seconds of CSV ingestion.
 	if *in == "" {
-		flag.Usage()
-		os.Exit(2)
+		usage("missing required -in")
+	}
+	obj, err := fairrank.ObjectiveByName(*objective, *k)
+	if err != nil {
+		usage(err.Error())
+	}
+	if *sampleSize <= 0 {
+		usage(fmt.Sprintf("-sample must be positive, got %d", *sampleSize))
+	}
+	if *granularity < 0 || math.IsNaN(*granularity) || math.IsInf(*granularity, 0) {
+		usage(fmt.Sprintf("-granularity must be finite and non-negative, got %v", *granularity))
+	}
+	if *maxBonus < 0 || math.IsNaN(*maxBonus) || math.IsInf(*maxBonus, 0) {
+		usage(fmt.Sprintf("-max-bonus must be finite and non-negative, got %v", *maxBonus))
+	}
+	weights, err := fairrank.ParseWeights(*weightsFlag)
+	if err != nil {
+		usage(err.Error())
 	}
 
-	f, err := os.Open(*in)
+	d, err := fairrank.ReadCSVFile(*in)
 	if err != nil {
 		fatal(err)
 	}
-	d, err := fairrank.ReadCSV(f)
-	f.Close()
-	if err != nil {
-		fatal(err)
-	}
 
-	weights := make([]float64, d.NumScore())
-	if *weightsFlag == "" {
-		for j := range weights {
-			weights[j] = 1 / float64(len(weights))
-		}
-	} else {
-		parts := strings.Split(*weightsFlag, ",")
-		if len(parts) != d.NumScore() {
-			fatal(fmt.Errorf("%d weights for %d score columns", len(parts), d.NumScore()))
-		}
-		for j, p := range parts {
-			w, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
-			if err != nil {
-				fatal(err)
-			}
-			weights[j] = w
-		}
+	if weights == nil {
+		weights = fairrank.EqualWeights(d.NumScore())
+	} else if len(weights) != d.NumScore() {
+		fatal(fmt.Errorf("%d weights for %d score columns", len(weights), d.NumScore()))
 	}
 	scorer := fairrank.WeightedSum{Weights: weights}
-
-	var obj fairrank.Objective
-	switch *objective {
-	case "disparity":
-		obj = fairrank.DisparityObjective(*k)
-	case "logdisc":
-		step := 0.1
-		if *k < step {
-			step = *k // ensure at least one evaluation point
-		}
-		obj = fairrank.LogDiscountedDisparity(step, *k)
-	case "di":
-		obj = fairrank.DisparateImpactObjective(*k)
-	case "fpr":
-		obj = fairrank.FPRObjective(*k)
-	default:
-		fatal(fmt.Errorf("unknown objective %q", *objective))
-	}
 
 	opts := fairrank.DefaultOptions()
 	opts.SampleSize = *sampleSize
@@ -154,12 +137,7 @@ func main() {
 	}
 
 	if *testIn != "" {
-		tf, err := os.Open(*testIn)
-		if err != nil {
-			fatal(err)
-		}
-		testD, err := fairrank.ReadCSV(tf)
-		tf.Close()
+		testD, err := fairrank.ReadCSVFile(*testIn)
 		if err != nil {
 			fatal(err)
 		}
@@ -179,6 +157,12 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+func usage(msg string) {
+	fmt.Fprintln(os.Stderr, "dca:", msg)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func fatal(err error) {

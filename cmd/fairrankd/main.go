@@ -1,0 +1,200 @@
+// Command fairrankd serves what-if DCA training, evaluation sweeps, and
+// transparency reports over HTTP — the interactive deployment surface of
+// the paper's "fast enough for what-if iteration" claim.
+//
+// Datasets are loaded once at startup, either synthesized (-synth) or read
+// from CSV in the csvio convention (-csv, repeatable). Each dataset gets a
+// shared concurrent evaluator and a pool of trainers; train results are
+// cached, so repeating a what-if query is a map lookup.
+//
+// Usage:
+//
+//	fairrankd -synth school,compas -addr :8080
+//	fairrankd -csv nyc=students.csv -weights nyc=0.55,0.45 -adverse risk -csv risk=risk.csv
+//
+// Endpoints:
+//
+//	POST /v1/train     {"dataset":"school","k":0.05,"objective":"disparity",...}
+//	POST /v1/evaluate  {"dataset":"school","metric":"ndcg","points":[{"bonus":[...],"k":0.05}]}
+//	GET  /v1/explain   ?dataset=school&k=0.05&bonus=1,11.5,12,12[&object=17]
+//	GET  /v1/datasets
+//	GET  /healthz
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"fairrank"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		synthList = flag.String("synth", "", "synthetic datasets to load: comma-separated subset of school,compas")
+		synthN    = flag.Int("synth-n", 0, "synthetic population size (0 = paper default)")
+		synthSeed = flag.Int64("synth-seed", 0, "synthetic generator seed (0 = paper default)")
+		cacheSize = flag.Int("cache", 0, "train-result cache entries (0 = default, negative disables)")
+		csvs      = make(map[string]string)
+		csvOrder  []string // flag order, so registration and listings are stable
+		weights   = make(map[string]string)
+		adverse   = flag.String("adverse", "", "comma-separated CSV dataset names with adverse polarity (bonus subtracted)")
+	)
+	flag.Func("csv", "load a CSV dataset as name=path (repeatable)", func(v string) error {
+		name, path, ok := strings.Cut(v, "=")
+		if !ok || name == "" || path == "" {
+			return fmt.Errorf("want name=path, got %q", v)
+		}
+		if _, dup := csvs[name]; dup {
+			return fmt.Errorf("dataset %q given twice", name)
+		}
+		csvs[name] = path
+		csvOrder = append(csvOrder, name)
+		return nil
+	})
+	flag.Func("weights", "score weights for a CSV dataset as name=w1,w2,... (repeatable; default equal)", func(v string) error {
+		name, spec, ok := strings.Cut(v, "=")
+		if !ok || name == "" || spec == "" {
+			return fmt.Errorf("want name=w1,w2,..., got %q", v)
+		}
+		weights[name] = spec
+		return nil
+	})
+	flag.Parse()
+
+	if *synthList == "" && len(csvs) == 0 {
+		fmt.Fprintln(os.Stderr, "fairrankd: no datasets: pass -synth and/or -csv")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	adverseSet := make(map[string]bool)
+	if *adverse != "" {
+		for _, n := range strings.Split(*adverse, ",") {
+			adverseSet[strings.TrimSpace(n)] = true
+		}
+	}
+
+	s := fairrank.NewService(fairrank.ServiceConfig{CacheSize: *cacheSize})
+
+	if *synthList != "" {
+		for _, name := range strings.Split(*synthList, ",") {
+			switch strings.TrimSpace(name) {
+			case "school":
+				cfg := fairrank.DefaultSchoolConfig()
+				if *synthN > 0 {
+					cfg.N = *synthN
+				}
+				if *synthSeed != 0 {
+					cfg.Seed = *synthSeed
+				}
+				d, err := fairrank.GenerateSchool(cfg)
+				if err != nil {
+					fatal(err)
+				}
+				scorer := fairrank.WeightedSum{Weights: fairrank.SchoolScoreWeights()}
+				if err := s.Register("school", d, scorer, fairrank.Beneficial); err != nil {
+					fatal(err)
+				}
+				log.Printf("registered synth dataset school (%d objects, beneficial)", d.N())
+			case "compas":
+				cfg := fairrank.DefaultCompasConfig()
+				if *synthN > 0 {
+					cfg.N = *synthN
+				}
+				if *synthSeed != 0 {
+					cfg.Seed = *synthSeed
+				}
+				d, err := fairrank.GenerateCompas(cfg)
+				if err != nil {
+					fatal(err)
+				}
+				scorer := fairrank.WeightedSum{Weights: fairrank.CompasScoreWeights()}
+				if err := s.Register("compas", d, scorer, fairrank.Adverse); err != nil {
+					fatal(err)
+				}
+				log.Printf("registered synth dataset compas (%d objects, adverse)", d.N())
+			default:
+				fmt.Fprintf(os.Stderr, "fairrankd: unknown synth dataset %q (want school or compas)\n", name)
+				os.Exit(2)
+			}
+		}
+	}
+
+	for _, name := range csvOrder {
+		path := csvs[name]
+		d, err := fairrank.ReadCSVFile(path)
+		if err != nil {
+			fatal(fmt.Errorf("dataset %q: %w", name, err))
+		}
+		w, err := fairrank.ParseWeights(weights[name])
+		if err != nil {
+			fatal(fmt.Errorf("dataset %q: %w", name, err))
+		}
+		if w == nil {
+			w = fairrank.EqualWeights(d.NumScore())
+		} else if len(w) != d.NumScore() {
+			fatal(fmt.Errorf("dataset %q: %d weights for %d score columns", name, len(w), d.NumScore()))
+		}
+		pol := fairrank.Beneficial
+		if adverseSet[name] {
+			pol = fairrank.Adverse
+		}
+		if err := s.Register(name, d, fairrank.WeightedSum{Weights: w}, pol); err != nil {
+			fatal(err)
+		}
+		log.Printf("registered CSV dataset %s (%d objects, %d score + %d fairness attributes)",
+			name, d.N(), d.NumScore(), d.NumFair())
+	}
+	for name := range weights {
+		if _, ok := csvs[name]; !ok {
+			fatal(fmt.Errorf("-weights for unknown dataset %q", name))
+		}
+	}
+	for name := range adverseSet {
+		if _, ok := csvs[name]; !ok {
+			fatal(fmt.Errorf("-adverse for unknown dataset %q", name))
+		}
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() {
+		log.Printf("fairrankd listening on %s", *addr)
+		done <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-done:
+		fatal(err)
+	case <-ctx.Done():
+		log.Print("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	if errors.Is(err, http.ErrServerClosed) {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "fairrankd:", err)
+	os.Exit(1)
+}

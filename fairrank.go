@@ -55,7 +55,12 @@
 package fairrank
 
 import (
+	"fmt"
 	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
 
 	"fairrank/internal/core"
 	"fairrank/internal/csvio"
@@ -63,6 +68,7 @@ import (
 	"fairrank/internal/matching"
 	"fairrank/internal/metrics"
 	"fairrank/internal/rank"
+	"fairrank/internal/service"
 	"fairrank/internal/synth"
 )
 
@@ -163,6 +169,17 @@ func TrainFull(d *Dataset, scorer Scorer, obj Objective, opts Options) (Result, 
 // of the top-k selection (k a fraction in (0, 1]).
 func DisparityObjective(k float64) Objective { return core.DisparityObjective(k) }
 
+// ObjectiveByName constructs one of the named objectives at selection
+// fraction k: "disparity", "logdisc", "di" or "fpr". It is the textual
+// vocabulary shared by cmd/dca and the fairrankd service; validation (name
+// and fraction) happens here, before any dataset is touched.
+func ObjectiveByName(name string, k float64) (Objective, error) {
+	return core.ObjectiveByName(name, k)
+}
+
+// ObjectiveNames lists the objective names ObjectiveByName understands.
+func ObjectiveNames() []string { return core.ObjectiveNames() }
+
 // LogDiscountedDisparity returns the whole-ranking objective of
 // Section IV-E for unknown selection sizes, evaluated at fractions
 // {step, 2*step, ..., maxK}.
@@ -254,6 +271,71 @@ func WriteCSV(w io.Writer, d *Dataset) error { return csvio.Write(w, d) }
 
 // ReadCSV parses a dataset written by WriteCSV.
 func ReadCSV(r io.Reader) (*Dataset, error) { return csvio.Read(r) }
+
+// ParseWeights parses a comma-separated score-weight list (the -weights
+// flag vocabulary of cmd/dca and cmd/fairrankd) into a WeightedSum weight
+// vector, rejecting non-finite entries: a single NaN or Inf weight would
+// silently poison every base score. An empty spec returns nil (callers
+// substitute equal weights).
+func ParseWeights(spec string) ([]float64, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	parts := strings.Split(spec, ",")
+	out := make([]float64, len(parts))
+	for j, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("fairrank: bad weight %q: %w", p, err)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("fairrank: weight %q is not finite", p)
+		}
+		out[j] = v
+	}
+	return out, nil
+}
+
+// EqualWeights returns the uniform weight vector over n score columns.
+func EqualWeights(n int) []float64 {
+	w := make([]float64, n)
+	for j := range w {
+		w[j] = 1 / float64(n)
+	}
+	return w
+}
+
+// ReadCSVFile loads a dataset from a CSV file, propagating the Close
+// error when the parse succeeded (a failed close can mean truncated reads
+// on some filesystems).
+func ReadCSVFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	d, err := csvio.Read(f)
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("fairrank: closing %s: %w", path, cerr)
+	}
+	return d, err
+}
+
+// Service is the HTTP layer behind cmd/fairrankd: a registry of datasets
+// (each with a shared concurrent Evaluator and a pooled set of Trainers),
+// an LRU cache of deterministic train results, and JSON handlers for
+// what-if training, evaluation sweeps, and transparency reports. Embed it
+// to mount fair-ranking endpoints inside an existing server:
+//
+//	s := fairrank.NewService(fairrank.ServiceConfig{})
+//	s.Register("school", d, scorer, fairrank.Beneficial)
+//	http.ListenAndServe(":8080", s.Handler())
+type Service = service.Server
+
+// ServiceConfig parameterizes a Service; the zero value is usable.
+type ServiceConfig = service.Config
+
+// NewService returns a Service with no datasets registered.
+func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
 
 // School is one school in a deferred-acceptance match: a capacity, an
 // optional number of set-aside seats, and a rubric score per student.

@@ -103,17 +103,27 @@ func (o *Options) validate(d *dataset.Dataset) error {
 	if o.RefineSteps < 0 {
 		return fmt.Errorf("core: negative refinement steps %d", o.RefineSteps)
 	}
-	if o.RefineSteps > 0 && o.RefineLR <= 0 {
+	// The non-finite checks matter: NaN passes every `< 0` comparison, and
+	// a NaN granularity or cap would silently poison the whole bonus
+	// vector (Round(b/NaN)*NaN) instead of failing the run.
+	if o.RefineSteps > 0 && (!(o.RefineLR > 0) || math.IsInf(o.RefineLR, 1)) {
 		return fmt.Errorf("core: refinement enabled with step size %v", o.RefineLR)
 	}
-	if o.Granularity < 0 {
-		return fmt.Errorf("core: negative granularity %v", o.Granularity)
+	if o.Granularity < 0 || math.IsNaN(o.Granularity) || math.IsInf(o.Granularity, 0) {
+		return fmt.Errorf("core: granularity %v, want finite and non-negative", o.Granularity)
 	}
-	if o.MaxBonus < 0 {
-		return fmt.Errorf("core: negative bonus cap %v", o.MaxBonus)
+	if o.MaxBonus < 0 || math.IsNaN(o.MaxBonus) || math.IsInf(o.MaxBonus, 0) {
+		return fmt.Errorf("core: bonus cap %v, want finite and non-negative", o.MaxBonus)
 	}
-	if o.InitBonus != nil && len(o.InitBonus) != d.NumFair() {
-		return fmt.Errorf("core: initial bonus has %d dimensions, dataset has %d", len(o.InitBonus), d.NumFair())
+	if o.InitBonus != nil {
+		if len(o.InitBonus) != d.NumFair() {
+			return fmt.Errorf("core: initial bonus has %d dimensions, dataset has %d", len(o.InitBonus), d.NumFair())
+		}
+		for j, v := range o.InitBonus {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("core: initial bonus dimension %d: non-finite value %v", j, v)
+			}
+		}
 	}
 	return nil
 }
@@ -169,6 +179,30 @@ func NewTrainer(d *dataset.Dataset, scorer rank.Scorer) *Trainer {
 		scorer: scorer,
 		base:   scorer.BaseScores(d),
 		ws:     engine.NewWorkspace(d.NumFair()),
+	}
+}
+
+// Clone returns a new Trainer over the same dataset and ranking function
+// that shares the precomputed base scores but owns a fresh workspace, so
+// the clone can train on another goroutine. A per-dataset trainer pool
+// (the fairrankd service) clones its prototype instead of paying the
+// O(n) base-score computation per worker.
+func (t *Trainer) Clone() *Trainer {
+	return &Trainer{d: t.d, scorer: t.scorer, base: t.base, ws: engine.NewWorkspace(t.d.NumFair())}
+}
+
+// Reset repoints the trainer at a new dataset and ranking function: base
+// scores are recomputed, and the workspace is kept when the fairness
+// dimensionality matches (its buffers grow on demand) and reallocated
+// otherwise. It serves interactive what-if loops where the data itself
+// changes — a revised cohort, an edited rubric — letting the caller keep
+// one long-lived Trainer instead of rebuilding scratch state per revision.
+func (t *Trainer) Reset(d *dataset.Dataset, scorer rank.Scorer) {
+	t.d = d
+	t.scorer = scorer
+	t.base = scorer.BaseScores(d)
+	if t.ws.Dims() != d.NumFair() {
+		t.ws = engine.NewWorkspace(d.NumFair())
 	}
 }
 

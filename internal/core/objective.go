@@ -32,6 +32,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"fairrank/internal/dataset"
 	"fairrank/internal/engine"
@@ -380,6 +381,36 @@ func (o *boundLogDiscounted) EvalInto(ws *engine.Workspace, sampleIdx []int, eff
 		dst[j] /= z
 	}
 	return nil
+}
+
+// ObjectiveNames lists the objective names understood by ObjectiveByName,
+// in documentation order.
+func ObjectiveNames() []string { return []string{"disparity", "logdisc", "di", "fpr"} }
+
+// ObjectiveByName constructs the named objective at selection fraction k.
+// It is the single source of truth for the textual objective names shared
+// by cmd/dca and the fairrankd service, so both surfaces accept the same
+// vocabulary and fail the same way on an unknown name or a bad fraction —
+// before any dataset is loaded.
+func ObjectiveByName(name string, k float64) (Objective, error) {
+	if err := rank.CheckFraction(k); err != nil {
+		return nil, err
+	}
+	switch name {
+	case "disparity":
+		return DisparityObjective(k), nil
+	case "logdisc":
+		step := 0.1
+		if k < step {
+			step = k // ensure at least one evaluation point
+		}
+		return LogDiscountedDisparity(step, k), nil
+	case "di":
+		return DisparateImpactObjective(k), nil
+	case "fpr":
+		return FPRObjective(k), nil
+	}
+	return nil, fmt.Errorf("core: unknown objective %q (want one of %s)", name, strings.Join(ObjectiveNames(), ", "))
 }
 
 // topAbs selects the top fraction k of the sample by effective score and

@@ -10,6 +10,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -69,21 +70,32 @@ func Write(w io.Writer, d *dataset.Dataset) error {
 func Read(r io.Reader) (*dataset.Dataset, error) {
 	cr := csv.NewReader(r)
 	cr.ReuseRecord = true
-	header, err := cr.Read()
+	rec, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("csvio: reading header: %w", err)
 	}
+	// ReuseRecord means every later Read overwrites this slice; copy the
+	// header so error messages can still name the offending column.
+	header := make([]string, len(rec))
+	copy(header, rec)
 	var scoreCols, fairCols []int
 	var scoreNames, fairNames []string
 	outcomeCol := -1
+	seen := make(map[string]bool, len(header))
 	for c, h := range header {
 		switch {
-		case strings.HasPrefix(h, scorePrefix):
-			scoreCols = append(scoreCols, c)
-			scoreNames = append(scoreNames, strings.TrimPrefix(h, scorePrefix))
-		case strings.HasPrefix(h, fairPrefix):
-			fairCols = append(fairCols, c)
-			fairNames = append(fairNames, strings.TrimPrefix(h, fairPrefix))
+		case strings.HasPrefix(h, scorePrefix), strings.HasPrefix(h, fairPrefix):
+			if seen[h] {
+				return nil, fmt.Errorf("csvio: duplicate column %q", h)
+			}
+			seen[h] = true
+			if strings.HasPrefix(h, scorePrefix) {
+				scoreCols = append(scoreCols, c)
+				scoreNames = append(scoreNames, strings.TrimPrefix(h, scorePrefix))
+			} else {
+				fairCols = append(fairCols, c)
+				fairNames = append(fairNames, strings.TrimPrefix(h, fairPrefix))
+			}
 		case h == outcomeColumn:
 			if outcomeCol != -1 {
 				return nil, fmt.Errorf("csvio: duplicate outcome column")
@@ -110,16 +122,19 @@ func Read(r io.Reader) (*dataset.Dataset, error) {
 		}
 		line++
 		for j, c := range scoreCols {
-			v, err := strconv.ParseFloat(rec[c], 64)
+			v, err := parseFinite(rec[c], line, header[c])
 			if err != nil {
-				return nil, fmt.Errorf("csvio: line %d column %q: %w", line, header[c], err)
+				return nil, err
 			}
 			scoreRow[j] = v
 		}
 		for j, c := range fairCols {
-			v, err := strconv.ParseFloat(rec[c], 64)
+			v, err := parseFinite(rec[c], line, header[c])
 			if err != nil {
-				return nil, fmt.Errorf("csvio: line %d column %q: %w", line, header[c], err)
+				return nil, err
+			}
+			if v < 0 || v > 1 {
+				return nil, fmt.Errorf("csvio: line %d column %q: value %v outside [0,1]", line, header[c], v)
 			}
 			fairRow[j] = v
 		}
@@ -137,4 +152,18 @@ func Read(r io.Reader) (*dataset.Dataset, error) {
 		}
 	}
 	return b.Build()
+}
+
+// parseFinite parses a float cell, rejecting NaN and ±Inf: strconv accepts
+// them, but a single non-finite score or fairness value silently poisons
+// every centroid, disparity, and ranking computed downstream.
+func parseFinite(cell string, line int, column string) (float64, error) {
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		return 0, fmt.Errorf("csvio: line %d column %q: %w", line, column, err)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("csvio: line %d column %q: non-finite value %q", line, column, cell)
+	}
+	return v, nil
 }

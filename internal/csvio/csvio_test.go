@@ -2,6 +2,8 @@ package csvio
 
 import (
 	"bytes"
+	"fmt"
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
@@ -73,21 +75,96 @@ func TestReadRejectsMalformedInputs(t *testing.T) {
 	cases := []struct {
 		name string
 		csv  string
+		want string // substring the error must contain ("" = any error)
 	}{
-		{"unknown column", "score:a,banana\n1,2\n"},
-		{"bad float", "score:a,fair:b\nxyz,0\n"},
-		{"fair out of range", "score:a,fair:b\n1,2\n"},
-		{"bad outcome", "score:a,fair:b,outcome\n1,0,maybe\n"},
-		{"duplicate outcome", "score:a,outcome,outcome\n1,0,1\n"},
-		{"no columns", "\n"},
-		{"empty", ""},
+		{"unknown column", "score:a,banana\n1,2\n", "banana"},
+		{"bad float", "score:a,fair:b\nxyz,0\n", "line 2"},
+		{"fair out of range", "score:a,fair:b\n1,2\n", "outside [0,1]"},
+		{"bad outcome", "score:a,fair:b,outcome\n1,0,maybe\n", "outcome"},
+		{"duplicate outcome", "score:a,outcome,outcome\n1,0,1\n", "duplicate"},
+		{"duplicate score column", "score:a,score:a,fair:b\n1,2,0\n", `duplicate column "score:a"`},
+		{"duplicate fair column", "score:a,fair:b,fair:b\n1,0,1\n", `duplicate column "fair:b"`},
+		{"no columns", "\n", ""},
+		{"empty", "", "header"},
+		{"short row", "score:a,fair:b\n1,0\n1\n", ""},
+		{"long row", "score:a,fair:b\n1,0,9\n", ""},
+		{"nan score", "score:a,fair:b\nNaN,0\n", `line 2 column "score:a": non-finite`},
+		{"inf score", "score:a,fair:b\n+Inf,0\n", "non-finite"},
+		{"negative inf score", "score:a,fair:b\n-Inf,0\n", "non-finite"},
+		{"nan fair", "score:a,fair:b\n1,NaN\n", `line 2 column "fair:b": non-finite`},
+		{"inf fair", "score:a,fair:b\n1,Inf\n", "non-finite"},
+		{"nan fair later line", "score:a,fair:b\n1,0\n2,nan\n", "line 3"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			if _, err := Read(strings.NewReader(tc.csv)); err == nil {
-				t.Errorf("expected error for %q", tc.csv)
+			_, err := Read(strings.NewReader(tc.csv))
+			if err == nil {
+				t.Fatalf("expected error for %q", tc.csv)
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
 			}
 		})
+	}
+}
+
+// TestRoundTripProperty is the Read(Write(d)) == d property over randomly
+// shaped datasets: random column counts, random sizes, with and without
+// outcomes, scores spanning negative/huge/tiny magnitudes.
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		ns, nf := 1+rng.Intn(4), 1+rng.Intn(4)
+		scoreNames := make([]string, ns)
+		for j := range scoreNames {
+			scoreNames[j] = fmt.Sprintf("s%d", j)
+		}
+		fairNames := make([]string, nf)
+		for j := range fairNames {
+			fairNames[j] = fmt.Sprintf("f%d", j)
+		}
+		withOutcome := rng.Intn(2) == 1
+		b := dataset.NewBuilder(scoreNames, fairNames)
+		n := rng.Intn(60)
+		for i := 0; i < n; i++ {
+			score := make([]float64, ns)
+			for j := range score {
+				score[j] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(13)-6))
+			}
+			fair := make([]float64, nf)
+			for j := range fair {
+				fair[j] = rng.Float64()
+			}
+			if withOutcome {
+				b.AddWithOutcome(score, fair, rng.Intn(2) == 1)
+			} else {
+				b.Add(score, fair)
+			}
+		}
+		d, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := roundTrip(t, d)
+		if got.N() != d.N() || got.NumScore() != ns || got.NumFair() != nf || got.HasOutcomes() != (withOutcome && n > 0) {
+			t.Fatalf("trial %d: shape changed: (%d,%d,%d,%v) -> (%d,%d,%d,%v)", trial,
+				d.N(), ns, nf, d.HasOutcomes(), got.N(), got.NumScore(), got.NumFair(), got.HasOutcomes())
+		}
+		for i := 0; i < d.N(); i++ {
+			for j := 0; j < ns; j++ {
+				if got.Score(i, j) != d.Score(i, j) {
+					t.Fatalf("trial %d: score (%d,%d): %v != %v", trial, i, j, got.Score(i, j), d.Score(i, j))
+				}
+			}
+			for j := 0; j < nf; j++ {
+				if got.Fair(i, j) != d.Fair(i, j) {
+					t.Fatalf("trial %d: fair (%d,%d): %v != %v", trial, i, j, got.Fair(i, j), d.Fair(i, j))
+				}
+			}
+			if withOutcome && got.Outcome(i) != d.Outcome(i) {
+				t.Fatalf("trial %d: outcome %d flipped", trial, i)
+			}
+		}
 	}
 }
 

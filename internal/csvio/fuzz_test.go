@@ -16,6 +16,9 @@ func FuzzRead(f *testing.F) {
 	f.Add("score:a,fair:b\n1\n")       // short record
 	f.Add("score:a,banana\n1,2\n")     // unknown column
 	f.Add("score:a,fair:b\nNaN,0.5\n") // non-finite score
+	f.Add("score:a,fair:b\n-Inf,1\n")  // non-finite score
+	f.Add("score:a,fair:b\n0,Inf\n")   // non-finite fairness value
+	f.Add("score:a,score:a\n1,2\n")    // duplicate column
 	f.Add("")
 	f.Fuzz(func(t *testing.T, input string) {
 		d, err := Read(strings.NewReader(input))

@@ -67,7 +67,10 @@ func New(scoreNames, fairNames []string, score, fair [][]float64, outcome []bool
 			return nil, fmt.Errorf("dataset: fairness column %q has %d rows, want %d", fairNames[j], len(col), n)
 		}
 		for i, v := range col {
-			if math.IsNaN(v) || v < 0 || v > 1 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("dataset: fairness column %q row %d: non-finite value %v", fairNames[j], i, v)
+			}
+			if v < 0 || v > 1 {
 				return nil, fmt.Errorf("dataset: fairness column %q row %d: value %v outside [0,1]", fairNames[j], i, v)
 			}
 		}
@@ -75,10 +78,10 @@ func New(scoreNames, fairNames []string, score, fair [][]float64, outcome []bool
 	if n == -1 {
 		n = 0
 	}
-	for _, col := range score {
+	for j, col := range score {
 		for i, v := range col {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return nil, fmt.Errorf("dataset: score row %d: non-finite value %v", i, v)
+				return nil, fmt.Errorf("dataset: score column %q row %d: non-finite value %v", scoreNames[j], i, v)
 			}
 		}
 	}

@@ -23,10 +23,13 @@ type Sampler struct {
 
 	// displacement table for Uniform/UniformInto: a generation-stamped
 	// sparse array standing in for the map of a partial Fisher-Yates
-	// shuffle, so repeated draws allocate nothing and never hash.
+	// shuffle, so repeated draws allocate nothing and never hash. The
+	// stamp is uint64 so service-scale draw counts cannot wrap it in
+	// practice (2^32 draws take minutes; 2^64 take centuries), and the
+	// wrap path below keeps the table correct even if it somehow does.
 	dispVal []int
-	dispGen []uint32
-	gen     uint32
+	dispGen []uint64
+	gen     uint64
 }
 
 // New returns a sampler over the population {0, ..., n-1} seeded with seed.
@@ -59,10 +62,14 @@ func (s *Sampler) UniformInto(dst []int) []int {
 	}
 	if s.dispVal == nil {
 		s.dispVal = make([]int, s.n)
-		s.dispGen = make([]uint32, s.n)
+		s.dispGen = make([]uint64, s.n)
 	}
 	s.gen++
-	if s.gen == 0 { // stamp wrap: invalidate every entry explicitly
+	if s.gen == 0 {
+		// Stamp wrap: a stale entry stamped in a previous epoch of the
+		// counter would be indistinguishable from a fresh one and could
+		// inject a duplicate index into the draw, so invalidate every
+		// entry explicitly before reusing stamp values.
 		for i := range s.dispGen {
 			s.dispGen[i] = 0
 		}

@@ -1,6 +1,7 @@
 package sample
 
 import (
+	"slices"
 	"testing"
 	"testing/quick"
 )
@@ -143,4 +144,52 @@ func TestNextPanicsWhenOversampling(t *testing.T) {
 		}
 	}()
 	New(2, 1).Next(3)
+}
+
+// TestUniformIntoGenerationWrap forces the generation stamp to wrap and
+// checks that stale displacement entries from before the wrap cannot
+// collide with fresh ones. Before the wrap was handled, the counter
+// re-entered stamp values still present in the table from early draws,
+// so a stale displaced index could masquerade as fresh state and inject
+// a duplicate into the sample. The draw stream must also stay identical
+// to a sampler that never wrapped: the stamp is bookkeeping, not
+// randomness.
+func TestUniformIntoGenerationWrap(t *testing.T) {
+	const n, k = 64, 48
+	s := New(n, 99)
+	ref := New(n, 99)
+	dst, refDst := make([]int, k), make([]int, k)
+	// One draw to allocate the displacement table.
+	s.UniformInto(dst)
+	ref.UniformInto(refDst)
+	// Poison every slot with exactly the stamp the counter hands out right
+	// after wrapping (1), all displacing to index 0: if the wrap does not
+	// invalidate the table, every lookup resolves to the stale 0 and the
+	// draw collapses into duplicates.
+	for i := range s.dispGen {
+		s.dispGen[i] = 1
+		s.dispVal[i] = 0
+	}
+	// Jump the counter to the edge: the next draw wraps to 0 and restarts
+	// at 1 — colliding with the poisoned stamps unless the wrap path
+	// clears them.
+	s.gen = ^uint64(0)
+	for draw := 0; draw < 4; draw++ {
+		got := s.UniformInto(dst)
+		want := ref.UniformInto(refDst)
+		seen := make(map[int]bool, k)
+		for _, v := range got {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("draw %d across the wrap: invalid or duplicate index %d in %v", draw, v, got)
+			}
+			seen[v] = true
+		}
+		if !slices.Equal(got, want) {
+			t.Errorf("draw %d: wrap changed the sampled stream:\n got %v\nwant %v", draw, got, want)
+		}
+	}
+	// The wrap draw restarts the counter at 1; three more draws follow.
+	if s.gen != 4 {
+		t.Errorf("post-wrap generation = %d, want 4", s.gen)
+	}
 }

@@ -1,0 +1,280 @@
+package service
+
+import (
+	"fmt"
+	"math"
+
+	"fairrank/internal/core"
+	"fairrank/internal/rank"
+)
+
+// MaxSweepPoints bounds one /v1/evaluate request: enough for a dense
+// trade-off curve, small enough that a single request cannot monopolize
+// the worker pool.
+const MaxSweepPoints = 4096
+
+// Train modes.
+const (
+	// ModeFull is the paper's full pipeline: Algorithm 1 + Adam refinement
+	// + rounding. The default.
+	ModeFull = "full"
+	// ModeCore is Algorithm 1 only — faster, rougher.
+	ModeCore = "core"
+	// ModeWhole is the whole-dataset variant of Section IV-C.
+	ModeWhole = "whole"
+)
+
+// TrainRequest is the body of POST /v1/train: one what-if DCA run.
+// Omitted fields default to the paper's settings (sample 500, seed 1,
+// granularity 0.5, 100 refinement steps, objective "disparity").
+type TrainRequest struct {
+	Dataset   string  `json:"dataset"`
+	Objective string  `json:"objective,omitempty"`
+	K         float64 `json:"k"`
+	Mode      string  `json:"mode,omitempty"`
+	// SampleSize is the per-step sample size (ignored by mode "whole").
+	SampleSize int   `json:"sample_size,omitempty"`
+	Seed       int64 `json:"seed,omitempty"`
+	// Granularity and RefineSteps are pointers so an explicit 0 (disable
+	// rounding / skip refinement) is distinguishable from absent.
+	Granularity *float64 `json:"granularity,omitempty"`
+	MaxBonus    float64  `json:"max_bonus,omitempty"`
+	RefineSteps *int     `json:"refine_steps,omitempty"`
+}
+
+// trainParams is a normalized, validated TrainRequest: defaults applied,
+// objective constructed, ready to key the cache and drive a trainer.
+type trainParams struct {
+	req  TrainRequest // normalized copy (defaults filled in)
+	mode string
+	obj  core.Objective
+	opts core.Options
+}
+
+// normalize validates the request and applies the paper defaults. All
+// validation happens here — before any dataset or trainer is touched — so
+// a malformed what-if query costs nothing but the parse.
+func (r TrainRequest) normalize() (*trainParams, error) {
+	p := &trainParams{req: r}
+	if p.req.Dataset == "" {
+		return nil, fmt.Errorf("missing dataset")
+	}
+	if p.req.Objective == "" {
+		p.req.Objective = "disparity"
+	}
+	obj, err := core.ObjectiveByName(p.req.Objective, p.req.K)
+	if err != nil {
+		return nil, err
+	}
+	p.obj = obj
+	switch p.req.Mode {
+	case "", ModeFull:
+		p.req.Mode = ModeFull
+	case ModeCore, ModeWhole:
+	default:
+		return nil, fmt.Errorf("unknown mode %q (want %s, %s or %s)", p.req.Mode, ModeFull, ModeCore, ModeWhole)
+	}
+	p.mode = p.req.Mode
+
+	p.opts = core.DefaultOptions()
+	if p.req.SampleSize != 0 {
+		if p.req.SampleSize < 0 {
+			return nil, fmt.Errorf("sample_size must be positive, got %d", p.req.SampleSize)
+		}
+		p.opts.SampleSize = p.req.SampleSize
+	}
+	p.req.SampleSize = p.opts.SampleSize
+	if p.req.Seed != 0 {
+		p.opts.Seed = p.req.Seed
+	}
+	p.req.Seed = p.opts.Seed
+	if p.req.Granularity != nil {
+		g := *p.req.Granularity
+		if math.IsNaN(g) || math.IsInf(g, 0) || g < 0 {
+			return nil, fmt.Errorf("granularity must be finite and non-negative, got %v", g)
+		}
+		p.opts.Granularity = g
+	} else {
+		g := p.opts.Granularity
+		p.req.Granularity = &g
+	}
+	if math.IsNaN(p.req.MaxBonus) || math.IsInf(p.req.MaxBonus, 0) || p.req.MaxBonus < 0 {
+		return nil, fmt.Errorf("max_bonus must be finite and non-negative, got %v", p.req.MaxBonus)
+	}
+	p.opts.MaxBonus = p.req.MaxBonus
+	if p.req.RefineSteps != nil {
+		if *p.req.RefineSteps < 0 {
+			return nil, fmt.Errorf("refine_steps must be non-negative, got %d", *p.req.RefineSteps)
+		}
+		p.opts.RefineSteps = *p.req.RefineSteps
+	} else {
+		rs := p.opts.RefineSteps
+		p.req.RefineSteps = &rs
+	}
+	// Canonicalize fields the chosen mode ignores, so equal what-ifs
+	// share one cache entry: "whole" trains on the entire population
+	// (sample size and refinement are overridden by TrainFull), "core"
+	// skips refinement.
+	zero := 0
+	switch p.mode {
+	case ModeWhole:
+		p.req.SampleSize = 0
+		p.req.RefineSteps = &zero
+	case ModeCore:
+		p.req.RefineSteps = &zero
+	}
+	return p, nil
+}
+
+// cacheKey identifies a normalized request. Training is deterministic in
+// these fields (plus the dataset's registered polarity, implied by the
+// dataset name), so equal keys mean bit-identical results.
+func (p *trainParams) cacheKey() string {
+	return fmt.Sprintf("%s|%s|%g|%s|%d|%d|%g|%g|%d",
+		p.req.Dataset, p.req.Objective, p.req.K, p.mode,
+		p.req.SampleSize, p.req.Seed, *p.req.Granularity, p.req.MaxBonus, *p.req.RefineSteps)
+}
+
+// TrainResponse is the answer to one what-if run: the bonus vector plus
+// its measured full-population effect at the requested fraction.
+type TrainResponse struct {
+	Dataset   string  `json:"dataset"`
+	Objective string  `json:"objective"`
+	K         float64 `json:"k"`
+	Mode      string  `json:"mode"`
+	Seed      int64   `json:"seed"`
+	Polarity  string  `json:"polarity"`
+
+	FairNames []string  `json:"fair_names"`
+	Bonus     []float64 `json:"bonus"`
+	Raw       []float64 `json:"raw"`
+	CoreBonus []float64 `json:"core_bonus"`
+	Steps     int       `json:"steps"`
+
+	DisparityBefore []float64 `json:"disparity_before"`
+	DisparityAfter  []float64 `json:"disparity_after"`
+	NormBefore      float64   `json:"norm_before"`
+	NormAfter       float64   `json:"norm_after"`
+	NDCG            float64   `json:"ndcg"`
+
+	ElapsedMicros int64 `json:"elapsed_us"`
+	// Cached reports whether this response was served from the result
+	// cache (training skipped entirely).
+	Cached bool `json:"cached"`
+}
+
+// SweepPointRequest is one (bonus, k) evaluation point.
+type SweepPointRequest struct {
+	Bonus []float64 `json:"bonus"`
+	K     float64   `json:"k"`
+}
+
+// EvaluateRequest is the body of POST /v1/evaluate: a metric sweep over
+// evaluation points, fanned over the evaluator's worker pool.
+type EvaluateRequest struct {
+	Dataset string `json:"dataset"`
+	// Metric is "disparity" (vectors + norms), "ndcg" (values), or "di"
+	// (vectors + norms).
+	Metric string              `json:"metric"`
+	Points []SweepPointRequest `json:"points"`
+}
+
+// validate checks everything that does not need the dataset; dims is the
+// fairness dimensionality of the resolved dataset.
+func (r EvaluateRequest) validate(dims int) error {
+	switch r.Metric {
+	case "disparity", "ndcg", "di":
+	default:
+		return fmt.Errorf("unknown metric %q (want disparity, ndcg or di)", r.Metric)
+	}
+	if len(r.Points) == 0 {
+		return fmt.Errorf("no evaluation points")
+	}
+	if len(r.Points) > MaxSweepPoints {
+		return fmt.Errorf("%d evaluation points exceed the limit of %d", len(r.Points), MaxSweepPoints)
+	}
+	for i, pt := range r.Points {
+		if err := rank.CheckFraction(pt.K); err != nil {
+			return fmt.Errorf("point %d: %v", i, err)
+		}
+		// A nil bonus means "the uncompensated ranking"; anything else
+		// must be a full non-negative vector.
+		if pt.Bonus == nil {
+			continue
+		}
+		if len(pt.Bonus) != dims {
+			return fmt.Errorf("point %d: bonus has %d dimensions, dataset has %d", i, len(pt.Bonus), dims)
+		}
+		for j, b := range pt.Bonus {
+			if math.IsNaN(b) || math.IsInf(b, 0) || b < 0 {
+				return fmt.Errorf("point %d: bonus dimension %d is %v, want finite and non-negative", i, j, b)
+			}
+		}
+	}
+	return nil
+}
+
+// EvaluateResponse carries the sweep results in point order. Vectors and
+// Norms are set for "disparity" and "di"; Values for "ndcg".
+type EvaluateResponse struct {
+	Dataset   string      `json:"dataset"`
+	Metric    string      `json:"metric"`
+	FairNames []string    `json:"fair_names"`
+	Vectors   [][]float64 `json:"vectors,omitempty"`
+	Norms     []float64   `json:"norms,omitempty"`
+	Values    []float64   `json:"values,omitempty"`
+}
+
+// ObjectExplainResponse breaks one object's effective score into its
+// published components (GET /v1/explain with ?object=).
+type ObjectExplainResponse struct {
+	Object       int       `json:"object"`
+	BaseScore    float64   `json:"base_score"`
+	BonusTotal   float64   `json:"bonus_total"`
+	PerAttribute []float64 `json:"per_attribute"`
+	Effective    float64   `json:"effective"`
+	Selected     bool      `json:"selected"`
+	Margin       float64   `json:"margin"`
+}
+
+// ExplainResponse is the transparency report as JSON: the published
+// cutoff, per-group selection counts, and the objects admitted or
+// displaced by the compensation.
+type ExplainResponse struct {
+	Dataset          string                 `json:"dataset"`
+	K                float64                `json:"k"`
+	Selected         int                    `json:"selected"`
+	Cutoff           float64                `json:"cutoff"`
+	BaseCutoff       float64                `json:"base_cutoff"`
+	Bonus            []float64              `json:"bonus"`
+	FairNames        []string               `json:"fair_names"`
+	GroupCounts      []int                  `json:"group_counts"`
+	BaseGroupCounts  []int                  `json:"base_group_counts"`
+	AdmittedByBonus  []int                  `json:"admitted_by_bonus"`
+	DisplacedByBonus []int                  `json:"displaced_by_bonus"`
+	Summary          []string               `json:"summary"`
+	Object           *ObjectExplainResponse `json:"object,omitempty"`
+}
+
+// DatasetInfo is one /v1/datasets listing entry.
+type DatasetInfo struct {
+	Name        string   `json:"name"`
+	N           int      `json:"n"`
+	ScoreNames  []string `json:"score_names"`
+	FairNames   []string `json:"fair_names"`
+	Polarity    string   `json:"polarity"`
+	HasOutcomes bool     `json:"has_outcomes"`
+}
+
+// HealthResponse is the /healthz body.
+type HealthResponse struct {
+	Status        string `json:"status"`
+	UptimeMillis  int64  `json:"uptime_ms"`
+	Datasets      int    `json:"datasets"`
+	CachedResults int    `json:"cached_results"`
+}
+
+// ErrorResponse is every non-2xx JSON body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

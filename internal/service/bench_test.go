@@ -1,0 +1,130 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"fairrank/internal/rank"
+	"fairrank/internal/synth"
+)
+
+// newBenchServer serves the paper-scale synthetic school cohort (80k
+// students) — the load-smoke configuration recorded in BENCH_serve.json.
+func newBenchServer(b *testing.B) *httptest.Server {
+	b.Helper()
+	d, err := synth.GenerateSchool(synth.DefaultSchoolConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := New(Config{})
+	if err := s.Register("school", d, rank.WeightedSum{Weights: synth.SchoolScoreWeights()}, rank.Beneficial); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	b.Cleanup(ts.Close)
+	return ts
+}
+
+func benchPost(b *testing.B, client *http.Client, url string, body []byte) []byte {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		b.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("%d %s", resp.StatusCode, buf.String())
+	}
+	return buf.Bytes()
+}
+
+// BenchmarkServeTrainUncached measures cold what-if throughput: every
+// request carries a fresh seed, so each one runs a full DCA pipeline
+// (300 ladder + 100 refinement steps on 500-object samples) plus the
+// full-population diagnostics.
+func BenchmarkServeTrainUncached(b *testing.B) {
+	ts := newBenchServer(b)
+	var seed atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		client := &http.Client{}
+		for pb.Next() {
+			s := seed.Add(1)
+			body := fmt.Appendf(nil, `{"dataset":"school","k":0.05,"seed":%d}`, s)
+			benchPost(b, client, ts.URL+"/v1/train", body)
+		}
+	})
+}
+
+// BenchmarkServeTrainCached measures the steady-state what-if loop: the
+// same request repeated, served from the result LRU.
+func BenchmarkServeTrainCached(b *testing.B) {
+	ts := newBenchServer(b)
+	body := []byte(`{"dataset":"school","k":0.05,"seed":1}`)
+	client := &http.Client{}
+	benchPost(b, client, ts.URL+"/v1/train", body) // warm the cache
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		client := &http.Client{}
+		for pb.Next() {
+			benchPost(b, client, ts.URL+"/v1/train", body)
+		}
+	})
+}
+
+// BenchmarkServeEvaluateSweep measures a 16-point disparity sweep per
+// request, fanned over the evaluator's worker pool.
+func BenchmarkServeEvaluateSweep(b *testing.B) {
+	ts := newBenchServer(b)
+	client := &http.Client{}
+	trained := benchPost(b, client, ts.URL+"/v1/train", []byte(`{"dataset":"school","k":0.05,"seed":1}`))
+	var tr TrainResponse
+	if err := json.Unmarshal(trained, &tr); err != nil {
+		b.Fatal(err)
+	}
+	points := make([]SweepPointRequest, 16)
+	for i := range points {
+		points[i] = SweepPointRequest{Bonus: tr.Bonus, K: 0.01 + 0.02*float64(i)}
+	}
+	body, err := json.Marshal(EvaluateRequest{Dataset: "school", Metric: "disparity", Points: points})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		client := &http.Client{}
+		for pb.Next() {
+			benchPost(b, client, ts.URL+"/v1/evaluate", body)
+		}
+	})
+}
+
+// BenchmarkServeExplain measures the transparency-report path.
+func BenchmarkServeExplain(b *testing.B) {
+	ts := newBenchServer(b)
+	url := ts.URL + "/v1/explain?dataset=school&k=0.05&bonus=1,11.5,12,12"
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		client := &http.Client{}
+		for pb.Next() {
+			resp, err := client.Get(url)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var buf bytes.Buffer
+			buf.ReadFrom(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("%d %s", resp.StatusCode, buf.String())
+			}
+		}
+	})
+}

@@ -1,0 +1,116 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLRUEviction(t *testing.T) {
+	c := newLRU(2)
+	c.put("a", 1)
+	c.put("b", 2)
+	c.put("c", 3) // evicts a
+	if _, ok := c.get("a"); ok {
+		t.Error("a survived eviction")
+	}
+	if v, ok := c.get("b"); !ok || v.(int) != 2 {
+		t.Error("b lost")
+	}
+	if v, ok := c.get("c"); !ok || v.(int) != 3 {
+		t.Error("c lost")
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+}
+
+func TestLRURecencyOrder(t *testing.T) {
+	c := newLRU(2)
+	c.put("a", 1)
+	c.put("b", 2)
+	c.get("a")    // a is now most recent
+	c.put("c", 3) // evicts b, not a
+	if _, ok := c.get("a"); !ok {
+		t.Error("recently used entry evicted")
+	}
+	if _, ok := c.get("b"); ok {
+		t.Error("least recently used entry survived")
+	}
+}
+
+func TestLRURefresh(t *testing.T) {
+	c := newLRU(2)
+	c.put("a", 1)
+	c.put("a", 10)
+	if v, _ := c.get("a"); v.(int) != 10 {
+		t.Errorf("refresh lost: %v", v)
+	}
+	if c.len() != 1 {
+		t.Errorf("len = %d, want 1", c.len())
+	}
+}
+
+func TestLRUDisabled(t *testing.T) {
+	c := newLRU(-1)
+	c.put("a", 1)
+	if _, ok := c.get("a"); ok {
+		t.Error("disabled cache cached")
+	}
+}
+
+func TestLRUConcurrent(t *testing.T) {
+	c := newLRU(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (w*31+i)%100)
+				if i%2 == 0 {
+					c.put(key, i)
+				} else {
+					c.get(key)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.len() > 64 {
+		t.Errorf("capacity exceeded: %d", c.len())
+	}
+}
+
+func TestCacheKeyCanonicalization(t *testing.T) {
+	key := func(req TrainRequest) string {
+		p, err := req.normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.cacheKey()
+	}
+	n100, n200, n50 := 100, 200, 50
+	// Mode "whole" ignores sample_size and refine_steps; "core" ignores
+	// refine_steps. Requests differing only in ignored fields must share
+	// one cache entry.
+	if key(TrainRequest{Dataset: "school", K: 0.05, Mode: ModeWhole, SampleSize: n100}) !=
+		key(TrainRequest{Dataset: "school", K: 0.05, Mode: ModeWhole, SampleSize: n200}) {
+		t.Error("whole-mode keys differ on ignored sample_size")
+	}
+	if key(TrainRequest{Dataset: "school", K: 0.05, Mode: ModeCore, RefineSteps: &n50}) !=
+		key(TrainRequest{Dataset: "school", K: 0.05, Mode: ModeCore}) {
+		t.Error("core-mode keys differ on ignored refine_steps")
+	}
+	// Meaningful fields must still split the key.
+	if key(TrainRequest{Dataset: "school", K: 0.05}) == key(TrainRequest{Dataset: "school", K: 0.05, Seed: 2}) {
+		t.Error("different seeds share a key")
+	}
+	if key(TrainRequest{Dataset: "school", K: 0.05}) == key(TrainRequest{Dataset: "school", K: 0.1}) {
+		t.Error("different fractions share a key")
+	}
+	if key(TrainRequest{Dataset: "school", K: 0.05, Mode: ModeFull, SampleSize: n100}) ==
+		key(TrainRequest{Dataset: "school", K: 0.05, Mode: ModeFull, SampleSize: n200}) {
+		t.Error("full-mode sample_size ignored in key")
+	}
+}

@@ -1,0 +1,309 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"fairrank/internal/core"
+	"fairrank/internal/metrics"
+	"fairrank/internal/rank"
+)
+
+// maxBodyBytes bounds a request body; the largest legitimate payload (a
+// MaxSweepPoints evaluate sweep) stays well under it.
+const maxBodyBytes = 8 << 20
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // the status line is already out; nothing left to do on error
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeJSON strictly parses a request body: size-capped, unknown fields
+// rejected (a typo'd option silently ignored is a wrong what-if answer),
+// trailing garbage rejected.
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON body")
+	}
+	return nil
+}
+
+// entryOr404 resolves the dataset or answers 404.
+func (s *Server) entryOr404(w http.ResponseWriter, name string) (*Entry, bool) {
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "missing dataset")
+		return nil, false
+	}
+	e, ok := s.reg.Get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown dataset %q", name)
+		return nil, false
+	}
+	return e, true
+}
+
+func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
+	var req TrainRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	p, err := req.normalize()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	e, ok := s.entryOr404(w, p.req.Dataset)
+	if !ok {
+		return
+	}
+
+	key := p.cacheKey()
+	if v, ok := s.cache.get(key); ok {
+		resp := v.(TrainResponse)
+		resp.Cached = true
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	opts := p.opts
+	opts.Polarity = e.pol
+	t := e.acquire()
+	var res core.Result
+	switch p.mode {
+	case ModeCore:
+		res, err = t.TrainCore(p.obj, opts)
+	case ModeWhole:
+		res, err = t.TrainFull(p.obj, opts)
+	default:
+		res, err = t.Train(p.obj, opts)
+	}
+	e.release(t)
+	if err != nil {
+		// Training fails only on request/dataset mismatches the bind stage
+		// rejects (e.g. an outcome-dependent objective on an
+		// outcome-less dataset) — the caller's choice, not ours.
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// The baseline disparity depends only on (dataset, k), not on the
+	// trained vector — memoize it in the same bounded LRU so iterative
+	// what-if sessions at one k don't repay a full-population ranking per
+	// request. Handlers only read the cached slice.
+	beforeKey := fmt.Sprintf("before|%s|%g", p.req.Dataset, p.req.K)
+	var before []float64
+	if v, ok := s.cache.get(beforeKey); ok {
+		before = v.([]float64)
+	} else {
+		before, err = e.eval.Disparity(nil, p.req.K)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "evaluating trained vector: %v", err)
+			return
+		}
+		s.cache.put(beforeKey, before)
+	}
+	after, err := e.eval.Disparity(res.Bonus, p.req.K)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "evaluating trained vector: %v", err)
+		return
+	}
+	ndcg, err := e.eval.NDCG(res.Bonus, p.req.K)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "evaluating trained vector: %v", err)
+		return
+	}
+	resp := TrainResponse{
+		Dataset:         p.req.Dataset,
+		Objective:       p.req.Objective,
+		K:               p.req.K,
+		Mode:            p.mode,
+		Seed:            p.req.Seed,
+		Polarity:        e.pol.String(),
+		FairNames:       e.d.FairNames(),
+		Bonus:           res.Bonus,
+		Raw:             res.Raw,
+		CoreBonus:       res.CoreBonus,
+		Steps:           res.Steps,
+		DisparityBefore: before,
+		DisparityAfter:  after,
+		NormBefore:      metrics.Norm(before),
+		NormAfter:       metrics.Norm(after),
+		NDCG:            ndcg,
+		ElapsedMicros:   res.Elapsed.Microseconds(),
+	}
+	s.cache.put(key, resp)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	var req EvaluateRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	e, ok := s.entryOr404(w, req.Dataset)
+	if !ok {
+		return
+	}
+	if err := req.validate(e.d.NumFair()); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	points := make([]core.SweepPoint, len(req.Points))
+	for i, pt := range req.Points {
+		points[i] = core.SweepPoint{Bonus: pt.Bonus, K: pt.K}
+	}
+	resp := EvaluateResponse{Dataset: req.Dataset, Metric: req.Metric, FairNames: e.d.FairNames()}
+	var err error
+	switch req.Metric {
+	case "disparity":
+		resp.Vectors, err = e.eval.DisparitySweep(points)
+	case "di":
+		resp.Vectors, err = e.eval.DisparateImpactSweep(points)
+	case "ndcg":
+		resp.Values, err = e.eval.NDCGSweep(points)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if resp.Vectors != nil {
+		resp.Norms = make([]float64, len(resp.Vectors))
+		for i, v := range resp.Vectors {
+			resp.Norms[i] = metrics.Norm(v)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// parseBonusParam parses the comma-separated ?bonus= vector.
+func parseBonusParam(raw string, dims int) ([]float64, error) {
+	parts := strings.Split(raw, ",")
+	if len(parts) != dims {
+		return nil, fmt.Errorf("bonus has %d dimensions, dataset has %d", len(parts), dims)
+	}
+	out := make([]float64, dims)
+	for j, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bonus dimension %d: %v", j, err)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return nil, fmt.Errorf("bonus dimension %d is %v, want finite and non-negative", j, v)
+		}
+		out[j] = v
+	}
+	return out, nil
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	e, ok := s.entryOr404(w, q.Get("dataset"))
+	if !ok {
+		return
+	}
+	k, err := strconv.ParseFloat(q.Get("k"), 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad k %q: %v", q.Get("k"), err)
+		return
+	}
+	if err := rank.CheckFraction(k); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if q.Get("bonus") == "" {
+		writeError(w, http.StatusBadRequest, "missing bonus (comma-separated, one value per fairness attribute)")
+		return
+	}
+	bonus, err := parseBonusParam(q.Get("bonus"), e.d.NumFair())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	exp, err := e.eval.Explain(bonus, k)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := ExplainResponse{
+		Dataset:          e.name,
+		K:                exp.K,
+		Selected:         exp.Selected,
+		Cutoff:           exp.Cutoff,
+		BaseCutoff:       exp.BaseCutoff,
+		Bonus:            exp.Bonus,
+		FairNames:        exp.FairNames,
+		GroupCounts:      exp.GroupCounts,
+		BaseGroupCounts:  exp.BaseGroupCounts,
+		AdmittedByBonus:  exp.AdmittedByBonus,
+		DisplacedByBonus: exp.DisplacedByBonus,
+		Summary:          exp.Summary(),
+	}
+	if objRaw := q.Get("object"); objRaw != "" {
+		obj, err := strconv.Atoi(objRaw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad object %q: %v", objRaw, err)
+			return
+		}
+		oe, err := e.eval.ExplainObject(exp, obj)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		resp.Object = &ObjectExplainResponse{
+			Object:       oe.Object,
+			BaseScore:    oe.BaseScore,
+			BonusTotal:   oe.BonusTotal,
+			PerAttribute: oe.PerAttribute,
+			Effective:    oe.Effective,
+			Selected:     oe.Selected,
+			Margin:       oe.Margin,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	entries := s.reg.Entries()
+	out := make([]DatasetInfo, len(entries))
+	for i, e := range entries {
+		out[i] = DatasetInfo{
+			Name:        e.name,
+			N:           e.d.N(),
+			ScoreNames:  e.d.ScoreNames(),
+			FairNames:   e.d.FairNames(),
+			Polarity:    e.pol.String(),
+			HasOutcomes: e.d.HasOutcomes(),
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		UptimeMillis:  time.Since(s.start).Milliseconds(),
+		Datasets:      s.reg.Len(),
+		CachedResults: s.cache.len(),
+	})
+}

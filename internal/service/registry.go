@@ -1,0 +1,131 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+
+	"fairrank/internal/core"
+	"fairrank/internal/dataset"
+	"fairrank/internal/rank"
+)
+
+// Entry is one registered dataset with everything a request needs: the
+// shared concurrent evaluator and a bounded pool of single-goroutine
+// trainers.
+type Entry struct {
+	name   string
+	d      *dataset.Dataset
+	scorer rank.Scorer
+	pol    rank.Polarity
+
+	// eval is safe for concurrent use (pooled workspaces, parallel
+	// sweeps); every handler shares this one instance so the precomputed
+	// base ranking and population centroid are paid once.
+	eval *core.Evaluator
+
+	// proto owns the precomputed base scores; acquire clones it when the
+	// idle pool is empty, so a burst of concurrent train requests costs
+	// one workspace allocation each, never an O(n) rescore.
+	proto *core.Trainer
+	pool  chan *core.Trainer
+}
+
+// Name returns the registry key.
+func (e *Entry) Name() string { return e.name }
+
+// Dataset returns the registered dataset.
+func (e *Entry) Dataset() *dataset.Dataset { return e.d }
+
+// Polarity returns the registered selection polarity.
+func (e *Entry) Polarity() rank.Polarity { return e.pol }
+
+// Evaluator returns the shared concurrent evaluator.
+func (e *Entry) Evaluator() *core.Evaluator { return e.eval }
+
+// acquire hands out a trainer for exclusive use; pair with release.
+func (e *Entry) acquire() *core.Trainer {
+	select {
+	case t := <-e.pool:
+		return t
+	default:
+		return e.proto.Clone()
+	}
+}
+
+// release returns a trainer to the idle pool, dropping it when the pool
+// is full (the workspace is garbage; base scores are shared with proto).
+func (e *Entry) release(t *core.Trainer) {
+	select {
+	case e.pool <- t:
+	default:
+	}
+}
+
+// Registry maps dataset names to entries. Registration happens at startup
+// (or under test setup); lookups are concurrent.
+type Registry struct {
+	poolSize int
+
+	mu      sync.RWMutex
+	entries map[string]*Entry
+	order   []string // registration order, for stable listings
+}
+
+// NewRegistry returns an empty registry whose entries retain at most
+// poolSize idle trainers each.
+func NewRegistry(poolSize int) *Registry {
+	if poolSize < 1 {
+		poolSize = 1
+	}
+	return &Registry{poolSize: poolSize, entries: make(map[string]*Entry)}
+}
+
+// Register adds a dataset under name, building its evaluator and trainer
+// prototype. Empty and duplicate names are rejected.
+func (r *Registry) Register(name string, d *dataset.Dataset, scorer rank.Scorer, pol rank.Polarity) error {
+	if name == "" {
+		return fmt.Errorf("service: empty dataset name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[name]; ok {
+		return fmt.Errorf("service: dataset %q already registered", name)
+	}
+	r.entries[name] = &Entry{
+		name:   name,
+		d:      d,
+		scorer: scorer,
+		pol:    pol,
+		eval:   core.NewEvaluator(d, scorer, pol),
+		proto:  core.NewTrainer(d, scorer),
+		pool:   make(chan *core.Trainer, r.poolSize),
+	}
+	r.order = append(r.order, name)
+	return nil
+}
+
+// Get returns the entry registered under name.
+func (r *Registry) Get(name string) (*Entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	return e, ok
+}
+
+// Entries returns all entries in registration order.
+func (r *Registry) Entries() []*Entry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Entry, 0, len(r.order))
+	for _, n := range r.order {
+		out = append(out, r.entries[n])
+	}
+	return out
+}
+
+// Len reports the number of registered datasets.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}

@@ -1,0 +1,110 @@
+// Package service implements fairrankd: an HTTP JSON layer that serves
+// what-if DCA training, evaluation sweeps, and transparency reports over a
+// registry of in-memory datasets.
+//
+// The paper's efficiency argument — sampled DCA is cheap enough for
+// interactive what-if iteration — is realized here as a request/response
+// loop: a policy maker posts an objective, a selection fraction, and a
+// granularity, and gets a bonus vector plus its measured effect back in
+// milliseconds. The layer mirrors the deployment framing of exposure-style
+// fair ranking services, where the fairness intervention must answer per
+// request, not per batch.
+//
+// Concurrency model:
+//
+//   - Each registered dataset owns one shared core.Evaluator (safe for
+//     concurrent use; its sweeps already fan over the engine worker pool)
+//     and a bounded pool of core.Trainers (a Trainer owns a workspace and
+//     is single-goroutine; the pool hands one to each in-flight train
+//     request, cloning the prototype — which shares the precomputed base
+//     scores — when the pool runs dry).
+//   - Train results are cached in an LRU keyed by the normalized request,
+//     so repeated what-if queries cost a map lookup. Training is
+//     deterministic given (dataset, objective, options, seed), which makes
+//     the cache exact, not heuristic.
+//
+// Handlers:
+//
+//	POST /v1/train     what-if DCA run (objective, k, granularity, seed…)
+//	POST /v1/evaluate  disparity/nDCG/disparate-impact sweep over points
+//	GET  /v1/explain   transparency report for a bonus vector
+//	GET  /v1/datasets  registry listing
+//	GET  /healthz      liveness + registry size
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"time"
+
+	"fairrank/internal/dataset"
+	"fairrank/internal/rank"
+)
+
+// DefaultCacheSize is the default capacity of the train-result LRU.
+const DefaultCacheSize = 1024
+
+// Config parameterizes a Server. The zero value is usable: defaults are
+// applied in New.
+type Config struct {
+	// CacheSize is the capacity of the train-result LRU; 0 means
+	// DefaultCacheSize, negative disables caching.
+	CacheSize int
+	// TrainerPoolSize caps the idle trainers retained per dataset; 0 means
+	// GOMAXPROCS. In-flight requests beyond the cap still get a trainer
+	// (cloned on demand); only the retained idle set is bounded.
+	TrainerPoolSize int
+}
+
+// Server is the HTTP service state: the dataset registry, the result
+// cache, and the start time for health reporting. Create one with New,
+// Register datasets, then mount Handler.
+type Server struct {
+	reg   *Registry
+	cache *lruCache
+	start time.Time
+}
+
+// New returns a Server with no datasets registered.
+func New(cfg Config) *Server {
+	size := cfg.CacheSize
+	if size == 0 {
+		size = DefaultCacheSize
+	}
+	pool := cfg.TrainerPoolSize
+	if pool <= 0 {
+		pool = runtime.GOMAXPROCS(0)
+	}
+	return &Server{
+		reg:   NewRegistry(pool),
+		cache: newLRU(size),
+		start: time.Now(),
+	}
+}
+
+// Register adds a dataset to the server under name. The polarity decides
+// both the training direction and how bonus points enter evaluation. It
+// fails on an empty or duplicate name and on datasets the trainer would
+// reject (empty population, no fairness attributes).
+func (s *Server) Register(name string, d *dataset.Dataset, scorer rank.Scorer, pol rank.Polarity) error {
+	if d.N() == 0 {
+		return fmt.Errorf("service: dataset %q is empty", name)
+	}
+	if d.NumFair() == 0 {
+		return fmt.Errorf("service: dataset %q has no fairness attributes", name)
+	}
+	return s.reg.Register(name, d, scorer, pol)
+}
+
+// Handler returns the route table. Method mismatches get 405 from the mux
+// method patterns; everything under /v1 answers JSON.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/train", s.handleTrain)
+	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
+	mux.HandleFunc("GET /v1/explain", s.handleExplain)
+	mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
