@@ -1,0 +1,153 @@
+// Command benchguard fails CI when a guarded benchmark regresses beyond a
+// tolerance against a checked-in reference.
+//
+// It reads `go test -bench` output on stdin (or -in), takes the best
+// (minimum) ns/op per benchmark across repeated runs — pass -count to the
+// benchmark invocation for noise resistance — and compares each benchmark
+// named in the reference file's "guard" section against its recorded
+// ns/op. A benchmark slower than max-ratio × reference, or missing from
+// the input entirely, fails the run; unlisted benchmarks are ignored.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'Sweep16' -benchtime=5x -count=3 ./internal/core/ |
+//	    go run ./cmd/benchguard -ref BENCH_sweep.json -max-ratio 2
+//
+// The tolerance is deliberately loose (default 2x): the guard exists to
+// catch "the sweep went quadratic again", not machine-to-machine drift.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// reference is the slice of the reference JSON benchguard reads: only the
+// guard section matters here; the rest of the file documents the
+// trajectory for humans.
+type reference struct {
+	Guard map[string]struct {
+		NsOp float64 `json:"ns_op"`
+	} `json:"guard"`
+}
+
+func main() {
+	var (
+		refPath  = flag.String("ref", "BENCH_sweep.json", "reference JSON with a guard section")
+		in       = flag.String("in", "", "benchmark output file (default: stdin)")
+		maxRatio = flag.Float64("max-ratio", 2, "fail when ns/op exceeds this multiple of the reference")
+	)
+	flag.Parse()
+	if *maxRatio <= 0 {
+		fatal(fmt.Errorf("-max-ratio must be positive, got %v", *maxRatio))
+	}
+
+	raw, err := os.ReadFile(*refPath)
+	if err != nil {
+		fatal(err)
+	}
+	var ref reference
+	if err := json.Unmarshal(raw, &ref); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", *refPath, err))
+	}
+	if len(ref.Guard) == 0 {
+		fatal(fmt.Errorf("%s has no guard section — nothing to check", *refPath))
+	}
+
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	best, err := parseBench(r)
+	if err != nil {
+		fatal(err)
+	}
+
+	names := make([]string, 0, len(ref.Guard))
+	for name := range ref.Guard {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := false
+	for _, name := range names {
+		got, ok := best[name]
+		if !ok {
+			fmt.Printf("FAIL %s: not found in benchmark output (was it run?)\n", name)
+			failed = true
+			continue
+		}
+		ratio := got / ref.Guard[name].NsOp
+		status := "ok  "
+		if ratio > *maxRatio {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %s: %.0f ns/op vs reference %.0f (%.2fx, limit %gx)\n",
+			status, name, got, ref.Guard[name].NsOp, ratio, *maxRatio)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// parseBench extracts the minimum ns/op per benchmark name from `go test
+// -bench` output. The -N GOMAXPROCS suffix is stripped so names match the
+// reference regardless of core count.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	best := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		// Benchmark lines look like: Name-8  10  12345 ns/op [...]
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		nsIdx := -1
+		for i, f := range fields {
+			if f == "ns/op" {
+				nsIdx = i - 1
+				break
+			}
+		}
+		if nsIdx < 1 {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[nsIdx], 64)
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		if prev, ok := best[name]; !ok || ns < prev {
+			best[name] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(best) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found in input")
+	}
+	return best, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchguard:", err)
+	os.Exit(1)
+}

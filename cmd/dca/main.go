@@ -11,6 +11,17 @@
 //	dca -in school.csv -k 0.05 [-weights 0.55,0.45] [-objective disparity]
 //	    [-adverse] [-granularity 0.5] [-max-bonus 0] [-sample 500] [-seed 1]
 //	dca -in compas.csv -k 0.2 -adverse -objective fpr
+//
+// With -sweep the trained vector is evaluated over a k-grid through the
+// same prefix-sweep engine the fairrankd service uses (rank once, answer
+// every k from prefix aggregates), and the trade-off curve is printed as
+// CSV instead of the table: one row per k with nDCG, the disparity vector
+// and its norm, the disparate-impact vector, and — when the dataset
+// carries outcomes — the FPR-difference vector. The grid is either a
+// comma-separated list of fractions or lo:hi:step:
+//
+//	dca -in school.csv -k 0.05 -sweep 0.01:0.30:0.01 > curve.csv
+//	dca -in school.csv -k 0.05 -sweep 0.05,0.1,0.25
 package main
 
 import (
@@ -18,6 +29,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strconv"
+	"strings"
 
 	"fairrank"
 	"fairrank/internal/metrics"
@@ -37,6 +50,7 @@ func main() {
 		sampleSize  = flag.Int("sample", 500, "DCA sample size")
 		seed        = flag.Int64("seed", 1, "sampling seed")
 		explain     = flag.Bool("explain", false, "print the transparency report (cutoff, per-group counts, beneficiaries)")
+		sweepSpec   = flag.String("sweep", "", "evaluate the trained vector over a k-grid and print CSV: comma-separated fractions or lo:hi:step")
 	)
 	flag.Parse()
 
@@ -60,6 +74,10 @@ func main() {
 		usage(fmt.Sprintf("-max-bonus must be finite and non-negative, got %v", *maxBonus))
 	}
 	weights, err := fairrank.ParseWeights(*weightsFlag)
+	if err != nil {
+		usage(err.Error())
+	}
+	sweepKs, err := parseSweepSpec(*sweepSpec)
 	if err != nil {
 		usage(err.Error())
 	}
@@ -95,6 +113,14 @@ func main() {
 		pol = fairrank.Adverse
 	}
 	ev := fairrank.NewEvaluator(d, scorer, pol)
+
+	if sweepKs != nil {
+		if err := writeSweepCSV(d, ev, res.Bonus, sweepKs); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	before, err := ev.Disparity(nil, *k)
 	if err != nil {
 		fatal(err)
@@ -157,6 +183,128 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// parseSweepSpec parses the -sweep k-grid: either comma-separated
+// fractions ("0.05,0.1,0.25") or an inclusive range "lo:hi:step". It
+// returns nil for the empty spec (sweeping disabled).
+func parseSweepSpec(spec string) ([]float64, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var ks []float64
+	if strings.Contains(spec, ":") {
+		parts := strings.Split(spec, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("-sweep range must be lo:hi:step, got %q", spec)
+		}
+		var bounds [3]float64
+		for i, p := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return nil, fmt.Errorf("-sweep range %q: %v", spec, err)
+			}
+			bounds[i] = v
+		}
+		lo, hi, step := bounds[0], bounds[1], bounds[2]
+		if math.IsNaN(step) || step <= 0 {
+			return nil, fmt.Errorf("-sweep step must be positive, got %v", step)
+		}
+		if lo > hi {
+			return nil, fmt.Errorf("-sweep range %q has lo > hi", spec)
+		}
+		if math.IsNaN(lo) || math.IsNaN(hi) || lo <= 0 || hi > 1 {
+			return nil, fmt.Errorf("-sweep range %q outside (0,1]", spec)
+		}
+		for i := 0; ; i++ {
+			k := lo + float64(i)*step
+			if k > hi+1e-9 {
+				break
+			}
+			// Min clamps float accumulation noise only; hi <= 1 is checked.
+			ks = append(ks, math.Min(k, 1))
+		}
+	} else {
+		for _, p := range strings.Split(spec, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return nil, fmt.Errorf("-sweep fraction %q: %v", p, err)
+			}
+			ks = append(ks, v)
+		}
+	}
+	for _, k := range ks {
+		if math.IsNaN(k) || k <= 0 || k > 1 {
+			return nil, fmt.Errorf("-sweep fraction %v outside (0,1]", k)
+		}
+	}
+	if len(ks) == 0 {
+		return nil, fmt.Errorf("-sweep %q produced no fractions", spec)
+	}
+	return ks, nil
+}
+
+// writeSweepCSV evaluates the trained vector over the k-grid — one
+// ranking per metric, every k from prefix aggregates — and prints the
+// trade-off curve: k, nDCG, the disparity vector and norm, the
+// disparate-impact vector, and (with outcomes) the FPR-difference vector.
+func writeSweepCSV(d *fairrank.Dataset, ev *fairrank.Evaluator, bonus []float64, ks []float64) error {
+	points := make([]fairrank.SweepPoint, len(ks))
+	for i, k := range ks {
+		points[i] = fairrank.SweepPoint{Bonus: bonus, K: k}
+	}
+	ndcg, err := ev.NDCGSweep(points)
+	if err != nil {
+		return err
+	}
+	disp, err := ev.DisparitySweep(points)
+	if err != nil {
+		return err
+	}
+	di, err := ev.DisparateImpactSweep(points)
+	if err != nil {
+		return err
+	}
+	var fpr [][]float64
+	if d.HasOutcomes() {
+		fpr, err = ev.FPRDiffSweep(points)
+		if err != nil {
+			return err
+		}
+	}
+
+	cols := []string{"k", "ndcg"}
+	for _, n := range d.FairNames() {
+		cols = append(cols, "disparity:"+n)
+	}
+	cols = append(cols, "disparity_norm")
+	for _, n := range d.FairNames() {
+		cols = append(cols, "di:"+n)
+	}
+	if fpr != nil {
+		for _, n := range d.FairNames() {
+			cols = append(cols, "fpr:"+n)
+		}
+	}
+	fmt.Println(strings.Join(cols, ","))
+	for i, k := range ks {
+		row := make([]string, 0, len(cols))
+		row = append(row, strconv.FormatFloat(k, 'g', -1, 64), strconv.FormatFloat(ndcg[i], 'g', -1, 64))
+		for _, v := range disp[i] {
+			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		row = append(row, strconv.FormatFloat(metrics.Norm(disp[i]), 'g', -1, 64))
+		for _, v := range di[i] {
+			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if fpr != nil {
+			for _, v := range fpr[i] {
+				row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+			}
+		}
+		fmt.Println(strings.Join(row, ","))
+	}
+	return nil
 }
 
 func usage(msg string) {

@@ -11,6 +11,7 @@
 //
 //	fairrankd -synth school,compas -addr :8080
 //	fairrankd -csv nyc=students.csv -weights nyc=0.55,0.45 -adverse risk -csv risk=risk.csv
+//	fairrankd -synth school -pprof 127.0.0.1:6060   # profiling in anger
 //
 // Endpoints:
 //
@@ -28,6 +29,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -44,6 +46,7 @@ func main() {
 		synthN    = flag.Int("synth-n", 0, "synthetic population size (0 = paper default)")
 		synthSeed = flag.Int64("synth-seed", 0, "synthetic generator seed (0 = paper default)")
 		cacheSize = flag.Int("cache", 0, "train-result cache entries (0 = default, negative disables)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty disables)")
 		csvs      = make(map[string]string)
 		csvOrder  []string // flag order, so registration and listings are stable
 		weights   = make(map[string]string)
@@ -164,6 +167,25 @@ func main() {
 		if _, ok := csvs[name]; !ok {
 			fatal(fmt.Errorf("-adverse for unknown dataset %q", name))
 		}
+	}
+
+	// Profiling in anger: pprof stays off the service handler and listens
+	// on its own (ideally loopback-only) address, so profiles are never
+	// one misconfigured reverse proxy away from the public surface.
+	if *pprofAddr != "" {
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			psrv := &http.Server{Addr: *pprofAddr, Handler: pm, ReadHeaderTimeout: 10 * time.Second}
+			if err := psrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
 	}
 
 	srv := &http.Server{

@@ -26,6 +26,14 @@ type Evaluator struct {
 	centroid []float64
 	all      []int
 	pool     sync.Pool // *engine.Workspace
+
+	// Population constants of the prefix-sweep engine: per-dimension group
+	// sizes (attribute > 0.5), and — when outcomes are present — the
+	// ground-truth-negative totals overall and per group. They depend only
+	// on the dataset, never on a bonus vector or selection fraction.
+	groupTot []int
+	negTot   []int
+	negAll   int
 }
 
 // NewEvaluator builds an evaluator for the dataset under the given ranking
@@ -43,6 +51,25 @@ func NewEvaluator(d *dataset.Dataset, scorer rank.Scorer, pol rank.Polarity) *Ev
 		origOrd:  rank.Order(base),
 		centroid: d.FairCentroid(),
 		all:      all,
+		groupTot: make([]int, d.NumFair()),
+	}
+	for j := range e.groupTot {
+		e.groupTot[j] = d.GroupSize(j)
+	}
+	if d.HasOutcomes() {
+		e.negTot = make([]int, d.NumFair())
+		cols := d.FairColumns()
+		for i := 0; i < d.N(); i++ {
+			if d.Outcome(i) {
+				continue
+			}
+			e.negAll++
+			for j, col := range cols {
+				if col[i] > 0.5 {
+					e.negTot[j]++
+				}
+			}
+		}
 	}
 	e.pool.New = func() any { return engine.NewWorkspace(d.NumFair()) }
 	return e
@@ -183,76 +210,10 @@ func (e *Evaluator) FPRDiff(bonus []float64, k float64) ([]float64, error) {
 	return metrics.FPRDiffWithinInto(e.d, e.all, sel, ws.Marks(e.d.N()), out), nil
 }
 
-// SweepPoint is one (bonus vector, selection fraction) evaluation of a
-// parallel sweep.
-type SweepPoint struct {
-	Bonus []float64
-	K     float64
-}
-
 // parallel fans n point evaluations over the engine worker pool, each
 // goroutine holding one pooled workspace for its whole share of the work.
 func (e *Evaluator) parallel(n int, fn func(ws *engine.Workspace, i int)) {
 	engine.ForEachWS(n, e.ws, e.put, fn)
-}
-
-// DisparitySweep evaluates the disparity of every sweep point in parallel
-// and returns the vectors in point order.
-func (e *Evaluator) DisparitySweep(points []SweepPoint) ([][]float64, error) {
-	out := make([][]float64, len(points))
-	errs := make([]error, len(points))
-	e.parallel(len(points), func(ws *engine.Workspace, i int) {
-		dst := make([]float64, e.d.NumFair())
-		if err := e.disparityInto(ws, points[i].Bonus, points[i].K, dst); err != nil {
-			errs[i] = err
-			return
-		}
-		out[i] = dst
-	})
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("core: sweep point %d (k=%g): %w", i, points[i].K, err)
-		}
-	}
-	return out, nil
-}
-
-// NDCGSweep evaluates the nDCG of every sweep point in parallel and
-// returns the values in point order.
-func (e *Evaluator) NDCGSweep(points []SweepPoint) ([]float64, error) {
-	out := make([]float64, len(points))
-	errs := make([]error, len(points))
-	e.parallel(len(points), func(ws *engine.Workspace, i int) {
-		out[i], errs[i] = e.ndcgWS(ws, points[i].Bonus, points[i].K)
-	})
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("core: sweep point %d (k=%g): %w", i, points[i].K, err)
-		}
-	}
-	return out, nil
-}
-
-// DisparateImpactSweep evaluates the scaled disparate impact of every
-// sweep point in parallel and returns the vectors in point order.
-func (e *Evaluator) DisparateImpactSweep(points []SweepPoint) ([][]float64, error) {
-	out := make([][]float64, len(points))
-	errs := make([]error, len(points))
-	e.parallel(len(points), func(ws *engine.Workspace, i int) {
-		sel, err := e.selectWS(ws, points[i].Bonus, points[i].K)
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		dst := make([]float64, e.d.NumFair())
-		out[i] = metrics.DisparateImpactWithinInto(e.d, e.all, sel, ws.Marks(e.d.N()), dst)
-	})
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("core: sweep point %d (k=%g): %w", i, points[i].K, err)
-		}
-	}
-	return out, nil
 }
 
 // scaleProbes interior points per multisection round shrink the bracket by
@@ -268,9 +229,12 @@ const (
 // fraction k (Section VI-A2: "the correct proportion of bonus points to
 // apply can be selected through a binary search"). nDCG decreases as w
 // grows, so the search brackets the largest w whose nDCG is still at least
-// target. Each round evaluates its interior probe points concurrently on
-// the evaluator's worker pool (a multisection search): the probe count is
-// fixed, so the result is deterministic regardless of parallelism.
+// target. Each round evaluates its interior probe points through
+// NDCGSweep, which groups probes whose granularity-rounded vectors
+// coincide — common in late rounds, when the bracket is narrower than the
+// granularity — so every distinct scaled vector is ranked exactly once per
+// round. The probe count is fixed, so the result is deterministic
+// regardless of parallelism.
 func (e *Evaluator) FindScaleForNDCG(bonus []float64, k, target, granularity float64) (w float64, err error) {
 	full, err := e.NDCG(Scale(bonus, 1, granularity), k)
 	if err != nil {
@@ -280,18 +244,16 @@ func (e *Evaluator) FindScaleForNDCG(bonus []float64, k, target, granularity flo
 		return 1, nil
 	}
 	lo, hi := 0.0, 1.0
-	vals := make([]float64, scaleProbes)
-	errs := make([]error, scaleProbes)
+	probes := make([]SweepPoint, scaleProbes)
 	for round := 0; round < scaleRounds; round++ {
 		width := hi - lo
-		e.parallel(scaleProbes, func(ws *engine.Workspace, i int) {
+		for i := range probes {
 			p := lo + width*float64(i+1)/float64(scaleProbes+1)
-			vals[i], errs[i] = e.ndcgWS(ws, Scale(bonus, p, granularity), k)
-		})
-		for _, err := range errs {
-			if err != nil {
-				return 0, err
-			}
+			probes[i] = SweepPoint{Bonus: Scale(bonus, p, granularity), K: k}
+		}
+		vals, err := e.NDCGSweep(probes)
+		if err != nil {
+			return 0, err
 		}
 		// Keep the rightmost sub-bracket whose left end still meets the
 		// target: [probe_m, probe_m+1) with m the largest passing probe.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"strconv"
 	"testing"
 
@@ -115,6 +116,125 @@ func TestGoldenEnsembleBitIdentical(t *testing.T) {
 		[]string{"0x1.010814898c614p+01", "0x1.611fa4a7d0636p+03", "0x1.56037e3c3bbb7p+03", "0x1.81563ba5f3801p+03"})
 	requireExact(t, "Ensemble.Std", ens.Std,
 		[]string{"0x1.7f38c6cf013d4p-05", "0x1.4aaa5b387724fp-04", "0x1.8b26984b5b115p-03", "0x1.4ad3565c67e72p-04"})
+}
+
+// TestGoldenSweepBitIdentical pins the prefix-sweep engine two ways: the
+// evaluation metrics of the golden trained vector are frozen as hex
+// goldens (captured from the pointwise evaluators), and the sweep engine —
+// which ranks once per bonus vector and answers every k from prefix
+// aggregates — must reproduce each of them bit for bit at every point of
+// a duplicated, unsorted k-grid.
+func TestGoldenSweepBitIdentical(t *testing.T) {
+	cfg, scorer := goldenDataset(t)
+	d, err := synth.GenerateSchool(*cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Seed = 7
+	run, err := Run(d, scorer, DisparityObjective(0.05), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := NewEvaluator(d, scorer, rank.Beneficial)
+
+	goldens := []struct {
+		k    float64
+		disp []string
+		ndcg string
+		di   []string
+	}{
+		{0.01,
+			[]string{"0x1.0b4395810625p-04", "-0x1.e353f7ced9168p-05", "-0x1.af33090c030cp-06", "-0x1.a2d0e56041894p-04"},
+			"0x1.edf3159b2e447p-01",
+			[]string{"0x1.1a984296a2d12p-02", "-0x1.23b94b47923b9p-01", "-0x1.83af96894aaecp-03", "-0x1.1f9bdd430cd56p-01"}},
+		{0.05,
+			[]string{"0x1.4fdf3b645a1cp-07", "-0x1.26e978d4fdf38p-07", "-0x1.17329663960cp-06", "-0x1.26e978d4fdf4p-09"},
+			"0x1.eaddde3400207p-01",
+			[]string{"0x1.7f3e22a10eefp-05", "-0x1.77c7a20e177c8p-04", "-0x1.5d40b08a1973p-03", "-0x1.c7ac75b73804p-07"}},
+		{0.5,
+			[]string{"0x1.28f5c28f5c29p-05", "0x1.ba5e353f7cedcp-06", "0x1.d507eaf1668cp-07", "0x1.83126e978d4fcp-05"},
+			"0x1.f0d86c83f10adp-01",
+			[]string{"0x1.469fa65206a1p-03", "0x1.c853f6df99c88p-03", "0x1.55b586e41c3ep-04", "0x1.e62d4f597e4e4p-03"}},
+	}
+
+	// A duplicated, unsorted grid over the golden cuts: the sweep engine
+	// must answer every occurrence identically.
+	var points []SweepPoint
+	for _, i := range []int{1, 0, 2, 1, 2, 0, 1} {
+		points = append(points, SweepPoint{Bonus: run.Bonus, K: goldens[i].k})
+	}
+	disp, err := ev.DisparitySweep(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ndcg, err := ev.NDCGSweep(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	di, err := ev.DisparateImpactSweep(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, i := range []int{1, 0, 2, 1, 2, 0, 1} {
+		g := goldens[i]
+		label := fmt.Sprintf("sweep[%d] (k=%g)", p, g.k)
+		requireExact(t, label+".disparity", disp[p], g.disp)
+		requireExact(t, label+".ndcg", []float64{ndcg[p]}, []string{g.ndcg})
+		requireExact(t, label+".di", di[p], g.di)
+
+		// And the pointwise path answers the same goldens.
+		pd, err := ev.Disparity(run.Bonus, g.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pn, err := ev.NDCG(run.Bonus, g.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pi, err := ev.DisparateImpact(run.Bonus, g.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireExact(t, label+".pointwise.disparity", pd, g.disp)
+		requireExact(t, label+".pointwise.ndcg", []float64{pn}, []string{g.ndcg})
+		requireExact(t, label+".pointwise.di", pi, g.di)
+	}
+}
+
+// TestGoldenFPRSweepMatchesPointwise pins FPRDiffSweep against the
+// pointwise FPRDiff on an outcome-bearing synthetic cohort under adverse
+// polarity, bit for bit.
+func TestGoldenFPRSweepMatchesPointwise(t *testing.T) {
+	cfg := synth.DefaultCompasConfig()
+	cfg.N = 4000
+	cfg.Seed = 99
+	d, err := synth.GenerateCompas(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := NewEvaluator(d, rank.WeightedSum{Weights: synth.CompasScoreWeights()}, rank.Adverse)
+	bonus := make([]float64, d.NumFair())
+	for j := range bonus {
+		bonus[j] = 0.5 * float64(j+1)
+	}
+	points := []SweepPoint{{Bonus: bonus, K: 0.2}, {Bonus: bonus, K: 0.05}, {Bonus: nil, K: 0.2}, {Bonus: bonus, K: 1}}
+	got, err := ev.FPRDiffSweep(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, pt := range points {
+		want, err := ev.FPRDiff(pt.Bonus, pt.K)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if got[p][j] != want[j] {
+				t.Errorf("point %d (k=%g) dim %d: sweep FPR %v != pointwise %v (not bit-identical)",
+					p, pt.K, j, got[p][j], want[j])
+			}
+		}
+	}
 }
 
 // TestTrainerReuseMatchesOneShot pins the workspace-reuse contract: a

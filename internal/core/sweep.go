@@ -1,0 +1,284 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sort"
+
+	"fairrank/internal/engine"
+	"fairrank/internal/metrics"
+	"fairrank/internal/rank"
+)
+
+// Prefix-sweep engine. A metric sweep is a set of (bonus, k) points; in
+// the common interactive shape — "how does this trained vector behave
+// across selection sizes?" — every point shares one bonus vector and only
+// k varies. The ranking under a bonus vector does not depend on k, so the
+// engine groups points by distinct bonus vector, ranks each group once,
+// and answers every k in the group from prefix aggregates of that single
+// sorted order: an S-point sweep costs O(n log n + n·f + S·f) per group
+// instead of S × O(n log n + n·f).
+//
+// Heterogeneous sweeps (every point its own bonus) degenerate to singleton
+// groups: a prefix over one cut performs exactly the pointwise
+// computation, and the groups fan over the worker pool just as the points
+// themselves used to — the per-point path is the prefix path at S=1.
+//
+// Results are bit-identical to the pointwise evaluators (Disparity, NDCG,
+// DisparateImpact, FPRDiff): the prefix aggregates resume the same
+// left-to-right folds the pointwise metrics compute (see
+// metrics/prefix.go), and the closed-form finishers share their scalar
+// formulas with the pointwise implementations.
+
+// SweepPoint is one (bonus vector, selection fraction) evaluation of a
+// parallel sweep.
+type SweepPoint struct {
+	Bonus []float64
+	K     float64
+}
+
+// sweepGroup is the unit of ranking work: all sweep points that share one
+// canonical bonus vector, with their selection counts deduplicated into an
+// ascending cut grid.
+type sweepGroup struct {
+	bonus  []float64 // canonical: nil means the uncompensated ranking
+	pts    []int     // indices into the points slice, in point order
+	cuts   []int     // ascending unique selection counts
+	cutPos []int     // cutPos[r] locates pts[r]'s count within cuts
+}
+
+// canonBonus maps every all-zero (or nil) bonus to nil, so that the
+// uncompensated ranking forms a single group regardless of how callers
+// spell "no bonus".
+func canonBonus(b []float64) []float64 {
+	if isZero(b) {
+		return nil
+	}
+	return b
+}
+
+// bonusKey builds a map key from the exact bit pattern of a canonical
+// bonus vector. Only the slow heterogeneous-grouping path needs it.
+func bonusKey(b []float64) string {
+	buf := make([]byte, 8*len(b))
+	for j, v := range b {
+		bits := math.Float64bits(v)
+		for o := 0; o < 8; o++ {
+			buf[8*j+o] = byte(bits >> (8 * o))
+		}
+	}
+	return string(buf)
+}
+
+// groupPoints validates every selection fraction through count and
+// partitions the points into sweepGroups in first-appearance order. The
+// all-points-share-one-bonus fast path is a single comparison scan with no
+// map in sight.
+func (e *Evaluator) groupPoints(points []SweepPoint, count func(n int, frac float64) (int, error)) ([]sweepGroup, error) {
+	if len(points) == 0 {
+		return nil, nil
+	}
+	n := e.d.N()
+	cnts := make([]int, len(points))
+	for i, pt := range points {
+		c, err := count(n, pt.K)
+		if err != nil {
+			return nil, fmt.Errorf("core: sweep point %d (k=%g): %w", i, pt.K, err)
+		}
+		cnts[i] = c
+	}
+
+	var groups []sweepGroup
+	first := canonBonus(points[0].Bonus)
+	homogeneous := true
+	for i := 1; i < len(points); i++ {
+		if !slices.Equal(first, canonBonus(points[i].Bonus)) {
+			homogeneous = false
+			break
+		}
+	}
+	if homogeneous {
+		pts := make([]int, len(points))
+		for i := range pts {
+			pts[i] = i
+		}
+		groups = []sweepGroup{{bonus: first, pts: pts}}
+	} else {
+		byKey := make(map[string]int, len(points))
+		for i, pt := range points {
+			b := canonBonus(pt.Bonus)
+			key := bonusKey(b)
+			g, ok := byKey[key]
+			if !ok {
+				g = len(groups)
+				byKey[key] = g
+				groups = append(groups, sweepGroup{bonus: b})
+			}
+			groups[g].pts = append(groups[g].pts, i)
+		}
+	}
+
+	for gi := range groups {
+		g := &groups[gi]
+		cuts := make([]int, len(g.pts))
+		for r, pi := range g.pts {
+			cuts[r] = cnts[pi]
+		}
+		sort.Ints(cuts)
+		g.cuts = slices.Compact(cuts)
+		g.cutPos = make([]int, len(g.pts))
+		for r, pi := range g.pts {
+			pos, _ := slices.BinarySearch(g.cuts, cnts[pi])
+			g.cutPos[r] = pos
+		}
+	}
+	return groups, nil
+}
+
+// vectorRows carves one result row per point from a single backing slice,
+// so a sweep performs two result allocations total instead of one per
+// point.
+func (e *Evaluator) vectorRows(n int) [][]float64 {
+	dims := e.d.NumFair()
+	backing := make([]float64, n*dims)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = backing[i*dims : (i+1)*dims : (i+1)*dims]
+	}
+	return out
+}
+
+// DisparitySweep evaluates the full-population disparity of every sweep
+// point and returns the vectors in point order. Points sharing a bonus
+// vector are ranked once and answered from prefix centroids; distinct
+// bonus vectors fan over the worker pool.
+func (e *Evaluator) DisparitySweep(points []SweepPoint) ([][]float64, error) {
+	groups, err := e.groupPoints(points, rank.SelectCount)
+	if err != nil {
+		return nil, err
+	}
+	dims := e.d.NumFair()
+	out := e.vectorRows(len(points))
+	e.parallel(len(groups), func(ws *engine.Workspace, g int) {
+		gr := &groups[g]
+		order := e.orderWS(ws, gr.bonus)
+		cent := metrics.PrefixCentroidInto(e.d, order, gr.cuts, ws.Pop(), ws.Agg(len(gr.cuts)*dims))
+		for r, pi := range gr.pts {
+			row := cent[gr.cutPos[r]*dims : (gr.cutPos[r]+1)*dims]
+			dst := out[pi]
+			for j := range dst {
+				dst[j] = row[j] - e.centroid[j]
+			}
+		}
+	})
+	return out, nil
+}
+
+// NDCGSweep evaluates the nDCG of every sweep point and returns the values
+// in point order. Points sharing a bonus vector are ranked once and
+// answered from prefix DCG sums over the compensated and original orders.
+func (e *Evaluator) NDCGSweep(points []SweepPoint) ([]float64, error) {
+	groups, err := e.groupPoints(points, metrics.PrefixCount)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(points))
+	errs := make([]error, len(points))
+	e.parallel(len(groups), func(ws *engine.Workspace, g int) {
+		gr := &groups[g]
+		order := e.orderWS(ws, gr.bonus)
+		nc := len(gr.cuts)
+		agg := ws.Agg(2 * nc)
+		corrected := metrics.PrefixDCGInto(e.base, order, gr.cuts, agg[:nc])
+		ideal := metrics.PrefixDCGInto(e.base, e.origOrd, gr.cuts, agg[nc:])
+		for r, pi := range gr.pts {
+			c := gr.cutPos[r]
+			if ideal[c] == 0 {
+				errs[pi] = metrics.ErrZeroIdealDCG
+				continue
+			}
+			out[pi] = corrected[c] / ideal[c]
+		}
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: sweep point %d (k=%g): %w", i, points[i].K, err)
+		}
+	}
+	return out, nil
+}
+
+// DisparateImpactSweep evaluates the scaled disparate impact of every
+// sweep point and returns the vectors in point order. Points sharing a
+// bonus vector are ranked once and answered from prefix group counts; the
+// population group sizes are evaluator constants.
+func (e *Evaluator) DisparateImpactSweep(points []SweepPoint) ([][]float64, error) {
+	groups, err := e.groupPoints(points, rank.SelectCount)
+	if err != nil {
+		return nil, err
+	}
+	dims := e.d.NumFair()
+	n := e.d.N()
+	out := e.vectorRows(len(points))
+	e.parallel(len(groups), func(ws *engine.Workspace, g int) {
+		gr := &groups[g]
+		order := e.orderWS(ws, gr.bonus)
+		counts := metrics.PrefixGroupCountsInto(e.d, order, gr.cuts, ws.Cnts(len(gr.cuts)*dims))
+		for r, pi := range gr.pts {
+			c := gr.cutPos[r]
+			row := counts[c*dims : (c+1)*dims]
+			sel := gr.cuts[c]
+			dst := out[pi]
+			for j := range dst {
+				dst[j] = metrics.ImpactFromCounts(row[j], e.groupTot[j], sel-row[j], n-e.groupTot[j])
+			}
+		}
+	})
+	return out, nil
+}
+
+// FPRDiffSweep evaluates the per-group false-positive-rate difference of
+// every sweep point and returns the vectors in point order. The dataset
+// must carry outcomes. Points sharing a bonus vector are ranked once and
+// answered from prefix false-positive counts; the ground-truth-negative
+// totals are evaluator constants.
+func (e *Evaluator) FPRDiffSweep(points []SweepPoint) ([][]float64, error) {
+	if !e.d.HasOutcomes() {
+		return nil, fmt.Errorf("core: FPR evaluation requires outcomes")
+	}
+	groups, err := e.groupPoints(points, rank.SelectCount)
+	if err != nil {
+		return nil, err
+	}
+	dims := e.d.NumFair()
+	out := e.vectorRows(len(points))
+	e.parallel(len(groups), func(ws *engine.Workspace, g int) {
+		gr := &groups[g]
+		order := e.orderWS(ws, gr.bonus)
+		nc := len(gr.cuts)
+		cnts := ws.Cnts(nc*dims + nc)
+		rows, all := cnts[:nc*dims], cnts[nc*dims:]
+		metrics.PrefixFPCountsInto(e.d, order, gr.cuts, rows, all)
+		for r, pi := range gr.pts {
+			c := gr.cutPos[r]
+			dst := out[pi]
+			if e.negAll == 0 {
+				for j := range dst {
+					dst[j] = 0
+				}
+				continue
+			}
+			overall := float64(all[c]) / float64(e.negAll)
+			row := rows[c*dims : (c+1)*dims]
+			for j := range dst {
+				if e.negTot[j] == 0 {
+					dst[j] = 0
+					continue
+				}
+				dst[j] = float64(row[j])/float64(e.negTot[j]) - overall
+			}
+		}
+	})
+	return out, nil
+}

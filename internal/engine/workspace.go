@@ -29,10 +29,12 @@ type Workspace struct {
 	obj  []float64 // objective accumulator, one entry per fairness dim
 	met  []float64 // per-prefix metric scratch (log-discounted objectives)
 	pop  []float64 // sample-centroid scratch
+	agg  []float64 // prefix-aggregate rows (sweep engine: one row per cut)
 	sel  []int     // selection (top-k) index buffer
 	abs  []int     // absolute-object-index buffer
 	ord  []int     // full-ordering buffer
 	smp  []int     // per-step sample index buffer
+	cnt  []int     // prefix-count rows (sweep engine: group counts per cut)
 	mark []bool    // absolute-id membership marks (kept all-false between uses)
 }
 
@@ -82,6 +84,22 @@ func (w *Workspace) Abs(n int) []int {
 func (w *Workspace) Ord(n int) []int {
 	w.ord = growInts(w.ord, n)
 	return w.ord
+}
+
+// Agg returns the prefix-aggregate scratch resized to n. The sweep engine
+// carves it into per-cut aggregate rows (prefix centroids, prefix DCG
+// values), so an S-point sweep reuses one buffer across every cut.
+func (w *Workspace) Agg(n int) []float64 {
+	w.agg = growFloats(w.agg, n)
+	return w.agg
+}
+
+// Cnts returns the prefix-count scratch resized to n. The sweep engine
+// carves it into per-cut integer rows (group membership and false-positive
+// counts).
+func (w *Workspace) Cnts(n int) []int {
+	w.cnt = growInts(w.cnt, n)
+	return w.cnt
 }
 
 // SampleBuf returns the per-step sample index buffer resized to n. It is

@@ -56,34 +56,42 @@ func DisparateImpactWithinInto(d *dataset.Dataset, sampleIdx, selIdx []int, mark
 				}
 			}
 		}
-		if totWith == 0 || totWithout == 0 {
-			continue
-		}
-		pWith := float64(selWith) / float64(totWith)
-		pWithout := float64(selWithout) / float64(totWithout)
-		switch {
-		case pWith == 0 && pWithout == 0:
-			// no one selected in either group: parity
-		case pWith == 0:
-			out[j] = -1
-		case pWithout == 0:
-			out[j] = 1
-		default:
-			ratio := pWithout / pWith
-			if ratio > 1 {
-				ratio = 1 / ratio
-			}
-			if pWith >= pWithout {
-				out[j] = 1 - ratio
-			} else {
-				out[j] = -(1 - ratio)
-			}
-		}
+		out[j] = ImpactFromCounts(selWith, totWith, selWithout, totWithout)
 	}
 	for _, i := range selIdx {
 		isSel[i] = false
 	}
 	return out
+}
+
+// ImpactFromCounts is the scalar disparate-impact formula over the four
+// selection counts of one binary attribute: members selected / total, and
+// non-members selected / total. It is the single implementation behind
+// DisparateImpactWithinInto and the prefix-sweep path, so both produce
+// bit-identical values from equal counts. An empty group on either side
+// means the attribute contributes 0.
+func ImpactFromCounts(selWith, totWith, selWithout, totWithout int) float64 {
+	if totWith == 0 || totWithout == 0 {
+		return 0
+	}
+	pWith := float64(selWith) / float64(totWith)
+	pWithout := float64(selWithout) / float64(totWithout)
+	switch {
+	case pWith == 0 && pWithout == 0:
+		return 0 // no one selected in either group: parity
+	case pWith == 0:
+		return -1
+	case pWithout == 0:
+		return 1
+	}
+	ratio := pWithout / pWith
+	if ratio > 1 {
+		ratio = 1 / ratio
+	}
+	if pWith >= pWithout {
+		return 1 - ratio
+	}
+	return -(1 - ratio)
 }
 
 // FPRDiff returns, for each binary fairness attribute, the group false

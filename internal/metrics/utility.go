@@ -1,9 +1,14 @@
 package metrics
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
+
+// ErrZeroIdealDCG is returned by NDCG when the ideal ranking has zero DCG
+// at the requested cut, which makes normalization undefined.
+var ErrZeroIdealDCG = errors.New("metrics: NDCG ideal DCG is zero")
 
 // DCG returns the discounted cumulative gain of the first k positions of
 // the ranking order (object indices, best first) with gains taken from the
@@ -35,7 +40,7 @@ func NDCG(gains []float64, corrected, original []int, k int) (float64, error) {
 	}
 	ideal := DCG(gains, original, k)
 	if ideal == 0 {
-		return 0, fmt.Errorf("metrics: NDCG ideal DCG is zero")
+		return 0, ErrZeroIdealDCG
 	}
 	return DCG(gains, corrected, k) / ideal, nil
 }

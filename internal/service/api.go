@@ -3,6 +3,7 @@ package service
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"fairrank/internal/core"
 	"fairrank/internal/rank"
@@ -170,11 +171,13 @@ type SweepPointRequest struct {
 }
 
 // EvaluateRequest is the body of POST /v1/evaluate: a metric sweep over
-// evaluation points, fanned over the evaluator's worker pool.
+// evaluation points, answered by the prefix-sweep engine (points sharing a
+// bonus vector are ranked once; every k comes from prefix aggregates).
 type EvaluateRequest struct {
 	Dataset string `json:"dataset"`
-	// Metric is "disparity" (vectors + norms), "ndcg" (values), or "di"
-	// (vectors + norms).
+	// Metric is "disparity" (vectors + norms), "ndcg" (values), "di"
+	// (vectors + norms), or "fpr" (vectors + norms; the dataset must carry
+	// outcomes).
 	Metric string              `json:"metric"`
 	Points []SweepPointRequest `json:"points"`
 }
@@ -183,9 +186,9 @@ type EvaluateRequest struct {
 // fairness dimensionality of the resolved dataset.
 func (r EvaluateRequest) validate(dims int) error {
 	switch r.Metric {
-	case "disparity", "ndcg", "di":
+	case "disparity", "ndcg", "di", "fpr":
 	default:
-		return fmt.Errorf("unknown metric %q (want disparity, ndcg or di)", r.Metric)
+		return fmt.Errorf("unknown metric %q (want disparity, ndcg, di or fpr)", r.Metric)
 	}
 	if len(r.Points) == 0 {
 		return fmt.Errorf("no evaluation points")
@@ -215,7 +218,7 @@ func (r EvaluateRequest) validate(dims int) error {
 }
 
 // EvaluateResponse carries the sweep results in point order. Vectors and
-// Norms are set for "disparity" and "di"; Values for "ndcg".
+// Norms are set for "disparity", "di" and "fpr"; Values for "ndcg".
 type EvaluateResponse struct {
 	Dataset   string      `json:"dataset"`
 	Metric    string      `json:"metric"`
@@ -223,7 +226,77 @@ type EvaluateResponse struct {
 	Vectors   [][]float64 `json:"vectors,omitempty"`
 	Norms     []float64   `json:"norms,omitempty"`
 	Values    []float64   `json:"values,omitempty"`
+	// CachedPoints reports how many of the requested points were answered
+	// from the per-point sweep cache (a cached sweep answers any subset of
+	// its k-grid; only the remaining cuts are computed).
+	CachedPoints int `json:"cached_points"`
 }
+
+// appendBonusSig appends the canonical signature of a bonus vector: "0"
+// for nil or all-zero (both mean the uncompensated ranking), otherwise the
+// exact bit pattern of every dimension. Exact bits make the sweep cache
+// exact: equal signatures imply bit-identical rows.
+func appendBonusSig(b []byte, bonus []float64) []byte {
+	zero := true
+	for _, v := range bonus {
+		if v != 0 {
+			zero = false
+			break
+		}
+	}
+	if zero {
+		return append(b, '0')
+	}
+	for j, v := range bonus {
+		if j > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendUint(b, math.Float64bits(v), 16)
+	}
+	return b
+}
+
+// pointKey identifies one (dataset, metric, bonus, k) sweep row in the
+// result cache.
+func pointKey(dataset, metric string, pt SweepPointRequest) string {
+	b := make([]byte, 0, 64)
+	b = append(b, "sweep|"...)
+	b = append(b, dataset...)
+	b = append(b, '|')
+	b = append(b, metric...)
+	b = append(b, '|')
+	b = appendBonusSig(b, pt.Bonus)
+	b = append(b, '|')
+	b = strconv.AppendUint(b, math.Float64bits(pt.K), 16)
+	return string(b)
+}
+
+// requestKey identifies a whole evaluate request for coalescing: two
+// requests coalesce only when dataset, metric, and every point agree
+// exactly.
+func (r EvaluateRequest) requestKey() string {
+	b := make([]byte, 0, 64+32*len(r.Points))
+	b = append(b, "eval|"...)
+	b = append(b, r.Dataset...)
+	b = append(b, '|')
+	b = append(b, r.Metric...)
+	for _, pt := range r.Points {
+		b = append(b, '|')
+		b = appendBonusSig(b, pt.Bonus)
+		b = append(b, '@')
+		b = strconv.AppendUint(b, math.Float64bits(pt.K), 16)
+	}
+	return string(b)
+}
+
+// httpError carries a status code through the coalescing layer, so every
+// caller sharing a failed flight answers with the leader's status.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
 
 // ObjectExplainResponse breaks one object's effective score into its
 // published components (GET /v1/explain with ?object=).

@@ -80,9 +80,42 @@ func BenchmarkServeTrainCached(b *testing.B) {
 	})
 }
 
-// BenchmarkServeEvaluateSweep measures a 16-point disparity sweep per
-// request, fanned over the evaluator's worker pool.
+// BenchmarkServeEvaluateSweep measures a cold 16-point disparity sweep
+// per request: every iteration asks about a previously unseen bonus
+// vector, so each request pays one full-population ranking plus 16 prefix
+// evaluations in the core sweep engine (never the per-point row cache).
 func BenchmarkServeEvaluateSweep(b *testing.B) {
+	ts := newBenchServer(b)
+	client := &http.Client{}
+	trained := benchPost(b, client, ts.URL+"/v1/train", []byte(`{"dataset":"school","k":0.05,"seed":1}`))
+	var tr TrainResponse
+	if err := json.Unmarshal(trained, &tr); err != nil {
+		b.Fatal(err)
+	}
+	var iter atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		client := &http.Client{}
+		points := make([]SweepPointRequest, 16)
+		for pb.Next() {
+			// A distinct bonus per iteration defeats the sweep row cache.
+			bonus := append([]float64(nil), tr.Bonus...)
+			bonus[0] += 0.5 * float64(iter.Add(1))
+			for i := range points {
+				points[i] = SweepPointRequest{Bonus: bonus, K: 0.01 + 0.02*float64(i)}
+			}
+			body, err := json.Marshal(EvaluateRequest{Dataset: "school", Metric: "disparity", Points: points})
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchPost(b, client, ts.URL+"/v1/evaluate", body)
+		}
+	})
+}
+
+// BenchmarkServeEvaluateSweepCached measures the steady-state sweep loop:
+// the same 16-point request repeated, answered row by row from the LRU.
+func BenchmarkServeEvaluateSweepCached(b *testing.B) {
 	ts := newBenchServer(b)
 	client := &http.Client{}
 	trained := benchPost(b, client, ts.URL+"/v1/train", []byte(`{"dataset":"school","k":0.05,"seed":1}`))
@@ -98,6 +131,7 @@ func BenchmarkServeEvaluateSweep(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	benchPost(b, client, ts.URL+"/v1/evaluate", body) // warm the rows
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		client := &http.Client{}

@@ -1,0 +1,230 @@
+package service
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestTrainCoalescing pins the singleflight contract: N concurrent
+// identical cold train requests run the pipeline exactly once and share
+// the result. Run under -race in CI.
+func TestTrainCoalescing(t *testing.T) {
+	s, ts := newTestServer(t)
+	const workers = 12
+	req := TrainRequest{Dataset: "school", K: 0.07, Seed: 19}
+
+	start := make(chan struct{})
+	resps := make([]TrainResponse, workers)
+	fails := make([]string, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			code, body := postJSON(t, ts.URL+"/v1/train", req, &resps[w])
+			if code != 200 {
+				fails[w] = fmt.Sprintf("worker %d: %d %s", w, code, body)
+			}
+		}(w)
+	}
+	close(start)
+	wg.Wait()
+	for _, f := range fails {
+		if f != "" {
+			t.Fatal(f)
+		}
+	}
+	if got := s.trainExecs.Load(); got != 1 {
+		t.Errorf("cold pipeline executed %d times for %d identical concurrent requests, want 1", got, workers)
+	}
+	for w := 1; w < workers; w++ {
+		if !reflect.DeepEqual(resps[w].Bonus, resps[0].Bonus) || !reflect.DeepEqual(resps[w].Raw, resps[0].Raw) {
+			t.Errorf("worker %d got a different bonus vector than worker 0", w)
+		}
+	}
+	// At most one response may be the leader's (Cached=false).
+	leaders := 0
+	for w := 0; w < workers; w++ {
+		if !resps[w].Cached {
+			leaders++
+		}
+	}
+	if leaders > 1 {
+		t.Errorf("%d responses claim to be the cold execution, want at most 1", leaders)
+	}
+}
+
+// TestEvaluateCoalescing is the same contract for /v1/evaluate: identical
+// concurrent cold sweeps rank once and share the rows.
+func TestEvaluateCoalescing(t *testing.T) {
+	s, ts := newTestServer(t)
+	points := make([]SweepPointRequest, 16)
+	for i := range points {
+		points[i] = SweepPointRequest{Bonus: []float64{1, 2, 3, 4}, K: 0.01 + 0.02*float64(i)}
+	}
+	req := EvaluateRequest{Dataset: "school", Metric: "disparity", Points: points}
+
+	const workers = 12
+	start := make(chan struct{})
+	resps := make([]EvaluateResponse, workers)
+	fails := make([]string, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			code, body := postJSON(t, ts.URL+"/v1/evaluate", req, &resps[w])
+			if code != 200 {
+				fails[w] = fmt.Sprintf("worker %d: %d %s", w, code, body)
+			}
+		}(w)
+	}
+	close(start)
+	wg.Wait()
+	for _, f := range fails {
+		if f != "" {
+			t.Fatal(f)
+		}
+	}
+	if got := s.sweepExecs.Load(); got != 1 {
+		t.Errorf("cold sweep executed %d times for %d identical concurrent requests, want 1", got, workers)
+	}
+	for w := 1; w < workers; w++ {
+		if !reflect.DeepEqual(resps[w].Vectors, resps[0].Vectors) {
+			t.Errorf("worker %d got different sweep vectors than worker 0", w)
+		}
+	}
+}
+
+// TestSweepCacheAnswersSubsets pins the extended LRU: once a sweep's rows
+// are cached, any subset of its k-grid is answered without ranking, and a
+// widened grid computes only the new cuts (with identical rows for the
+// overlap).
+func TestSweepCacheAnswersSubsets(t *testing.T) {
+	s, ts := newTestServer(t)
+	bonus := []float64{2, 1, 0.5, 3}
+	grid := func(ks ...float64) []SweepPointRequest {
+		pts := make([]SweepPointRequest, len(ks))
+		for i, k := range ks {
+			pts[i] = SweepPointRequest{Bonus: bonus, K: k}
+		}
+		return pts
+	}
+
+	var full EvaluateResponse
+	code, body := postJSON(t, ts.URL+"/v1/evaluate",
+		EvaluateRequest{Dataset: "school", Metric: "disparity", Points: grid(0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4)}, &full)
+	if code != 200 {
+		t.Fatalf("cold sweep: %d %s", code, body)
+	}
+	if full.CachedPoints != 0 {
+		t.Errorf("cold sweep reports %d cached points, want 0", full.CachedPoints)
+	}
+	if got := s.sweepExecs.Load(); got != 1 {
+		t.Fatalf("cold sweep executed %d times, want 1", got)
+	}
+
+	// Any subset — here reordered, duplicated — is pure cache.
+	var sub EvaluateResponse
+	code, body = postJSON(t, ts.URL+"/v1/evaluate",
+		EvaluateRequest{Dataset: "school", Metric: "disparity", Points: grid(0.2, 0.05, 0.2)}, &sub)
+	if code != 200 {
+		t.Fatalf("subset sweep: %d %s", code, body)
+	}
+	if sub.CachedPoints != 3 {
+		t.Errorf("subset sweep reports %d cached points, want 3", sub.CachedPoints)
+	}
+	if got := s.sweepExecs.Load(); got != 1 {
+		t.Errorf("subset sweep re-ranked (execs=%d), want pure cache", got)
+	}
+	if !reflect.DeepEqual(sub.Vectors[0], full.Vectors[3]) ||
+		!reflect.DeepEqual(sub.Vectors[1], full.Vectors[0]) ||
+		!reflect.DeepEqual(sub.Vectors[2], full.Vectors[3]) {
+		t.Error("subset rows differ from the original sweep's rows")
+	}
+
+	// A widened grid computes only the new cuts; overlap rows are reused.
+	var wide EvaluateResponse
+	code, body = postJSON(t, ts.URL+"/v1/evaluate",
+		EvaluateRequest{Dataset: "school", Metric: "disparity", Points: grid(0.05, 0.1, 0.45, 0.5)}, &wide)
+	if code != 200 {
+		t.Fatalf("widened sweep: %d %s", code, body)
+	}
+	if wide.CachedPoints != 2 {
+		t.Errorf("widened sweep reports %d cached points, want 2", wide.CachedPoints)
+	}
+	if got := s.sweepExecs.Load(); got != 2 {
+		t.Errorf("widened sweep executions = %d, want 2", got)
+	}
+	if !reflect.DeepEqual(wide.Vectors[0], full.Vectors[0]) || !reflect.DeepEqual(wide.Vectors[1], full.Vectors[1]) {
+		t.Error("widened sweep's overlap rows differ from the original sweep's rows")
+	}
+
+	// A different bonus vector is a different sweep: cold again.
+	other := grid(0.05)
+	other[0].Bonus = []float64{9, 9, 9, 9}
+	var cold EvaluateResponse
+	code, body = postJSON(t, ts.URL+"/v1/evaluate",
+		EvaluateRequest{Dataset: "school", Metric: "disparity", Points: other}, &cold)
+	if code != 200 {
+		t.Fatalf("other-bonus sweep: %d %s", code, body)
+	}
+	if cold.CachedPoints != 0 {
+		t.Errorf("other-bonus sweep reports %d cached points, want 0", cold.CachedPoints)
+	}
+}
+
+// TestEvaluateFPRMetric covers the new "fpr" sweep metric: it works on an
+// outcome-bearing dataset and is rejected with a clear error otherwise.
+func TestEvaluateFPRMetric(t *testing.T) {
+	_, ts := newTestServer(t)
+	points := []SweepPointRequest{{Bonus: nil, K: 0.2}, {Bonus: []float64{1, 1, 1, 1, 1, 1}, K: 0.1}}
+	var resp EvaluateResponse
+	code, body := postJSON(t, ts.URL+"/v1/evaluate",
+		EvaluateRequest{Dataset: "compas", Metric: "fpr", Points: points}, &resp)
+	if code != 200 {
+		t.Fatalf("fpr sweep on compas: %d %s", code, body)
+	}
+	if len(resp.Vectors) != 2 || len(resp.Norms) != 2 {
+		t.Fatalf("fpr sweep shape: %d vectors, %d norms", len(resp.Vectors), len(resp.Norms))
+	}
+	// school has no outcomes: a clean 400, mentioning outcomes.
+	schoolPts := []SweepPointRequest{{Bonus: nil, K: 0.2}}
+	code, body = postJSON(t, ts.URL+"/v1/evaluate",
+		EvaluateRequest{Dataset: "school", Metric: "fpr", Points: schoolPts}, nil)
+	if code != 400 {
+		t.Fatalf("fpr sweep on school: %d %s, want 400", code, body)
+	}
+}
+
+// TestZeroAndNilBonusShareSweepRows pins the canonical bonus signature:
+// nil and the explicit zero vector are the same uncompensated ranking and
+// share cache rows.
+func TestZeroAndNilBonusShareSweepRows(t *testing.T) {
+	s, ts := newTestServer(t)
+	var first EvaluateResponse
+	code, body := postJSON(t, ts.URL+"/v1/evaluate",
+		EvaluateRequest{Dataset: "school", Metric: "ndcg", Points: []SweepPointRequest{{Bonus: nil, K: 0.1}}}, &first)
+	if code != 200 {
+		t.Fatalf("%d %s", code, body)
+	}
+	var second EvaluateResponse
+	code, body = postJSON(t, ts.URL+"/v1/evaluate",
+		EvaluateRequest{Dataset: "school", Metric: "ndcg", Points: []SweepPointRequest{{Bonus: []float64{0, 0, 0, 0}, K: 0.1}}}, &second)
+	if code != 200 {
+		t.Fatalf("%d %s", code, body)
+	}
+	if second.CachedPoints != 1 {
+		t.Errorf("zero-vector point missed the nil-bonus cache row (cached=%d)", second.CachedPoints)
+	}
+	if got := s.sweepExecs.Load(); got != 1 {
+		t.Errorf("sweep executions = %d, want 1", got)
+	}
+	if first.Values[0] != 1 || second.Values[0] != 1 {
+		t.Errorf("uncompensated nDCG = %v / %v, want 1", first.Values[0], second.Values[0])
+	}
+}

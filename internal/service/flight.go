@@ -1,0 +1,61 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+)
+
+// flightGroup coalesces concurrent duplicate work: while one caller (the
+// leader) runs fn for a key, every other caller with the same key blocks
+// and shares the leader's result instead of re-running the pipeline. The
+// server wraps the cold paths of /v1/train and /v1/evaluate in it, so a
+// thundering herd of identical what-if requests — N dashboards refreshing
+// the same query — costs one training run, not N.
+//
+// Unlike a cache, a flight lives only as long as its computation: the
+// result itself is stored in the LRU by fn, and late arrivals find it
+// there. fn must therefore populate the cache before returning (the
+// handlers' fns do), or re-check it first, so the delete-after-done window
+// cannot duplicate work.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Do runs fn once per key among concurrent callers. It reports whether the
+// result was shared from another caller's execution.
+func (g *flightGroup) Do(key string, fn func() (any, error)) (val any, shared bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flight)
+	}
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-f.done
+		return f.val, true, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	committed := false
+	defer func() {
+		if !committed { // fn panicked: release waiters, then let it propagate
+			f.err = fmt.Errorf("service: coalesced request failed")
+			close(f.done)
+		}
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+	}()
+	f.val, f.err = fn()
+	committed = true
+	close(f.done)
+	return f.val, false, f.err
+}

@@ -85,10 +85,48 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Cold: coalesce concurrent identical requests so a thundering herd
+	// runs the pipeline once. Followers (shared=true) report Cached.
+	v, shared, err := s.flights.Do("train|"+key, func() (any, error) {
+		return s.runTrain(e, p, key)
+	})
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	resp := v.(TrainResponse)
+	resp.Cached = resp.Cached || shared
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeHTTPError unwraps a status-carrying error from a coalesced
+// pipeline; anything else is an internal failure.
+func writeHTTPError(w http.ResponseWriter, err error) {
+	var he *httpError
+	if errors.As(err, &he) {
+		writeError(w, he.status, "%s", he.msg)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, "%v", err)
+}
+
+// runTrain is the cold train pipeline: train, evaluate the diagnostics,
+// cache the response. It runs inside a flight; the leading cache re-check
+// closes the race where a request misses the LRU just as another flight
+// for the same key completes.
+func (s *Server) runTrain(e *Entry, p *trainParams, key string) (TrainResponse, error) {
+	if v, ok := s.cache.get(key); ok {
+		resp := v.(TrainResponse)
+		resp.Cached = true
+		return resp, nil
+	}
+	s.trainExecs.Add(1)
+
 	opts := p.opts
 	opts.Polarity = e.pol
 	t := e.acquire()
 	var res core.Result
+	var err error
 	switch p.mode {
 	case ModeCore:
 		res, err = t.TrainCore(p.obj, opts)
@@ -102,8 +140,7 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		// Training fails only on request/dataset mismatches the bind stage
 		// rejects (e.g. an outcome-dependent objective on an
 		// outcome-less dataset) — the caller's choice, not ours.
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
+		return TrainResponse{}, &httpError{http.StatusBadRequest, err.Error()}
 	}
 
 	// The baseline disparity depends only on (dataset, k), not on the
@@ -117,20 +154,17 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 	} else {
 		before, err = e.eval.Disparity(nil, p.req.K)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, "evaluating trained vector: %v", err)
-			return
+			return TrainResponse{}, &httpError{http.StatusInternalServerError, fmt.Sprintf("evaluating trained vector: %v", err)}
 		}
 		s.cache.put(beforeKey, before)
 	}
 	after, err := e.eval.Disparity(res.Bonus, p.req.K)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "evaluating trained vector: %v", err)
-		return
+		return TrainResponse{}, &httpError{http.StatusInternalServerError, fmt.Sprintf("evaluating trained vector: %v", err)}
 	}
 	ndcg, err := e.eval.NDCG(res.Bonus, p.req.K)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "evaluating trained vector: %v", err)
-		return
+		return TrainResponse{}, &httpError{http.StatusInternalServerError, fmt.Sprintf("evaluating trained vector: %v", err)}
 	}
 	resp := TrainResponse{
 		Dataset:         p.req.Dataset,
@@ -152,7 +186,7 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		ElapsedMicros:   res.Elapsed.Microseconds(),
 	}
 	s.cache.put(key, resp)
-	writeJSON(w, http.StatusOK, resp)
+	return resp, nil
 }
 
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
@@ -169,31 +203,92 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	points := make([]core.SweepPoint, len(req.Points))
-	for i, pt := range req.Points {
-		points[i] = core.SweepPoint{Bonus: pt.Bonus, K: pt.K}
-	}
-	resp := EvaluateResponse{Dataset: req.Dataset, Metric: req.Metric, FairNames: e.d.FairNames()}
-	var err error
-	switch req.Metric {
-	case "disparity":
-		resp.Vectors, err = e.eval.DisparitySweep(points)
-	case "di":
-		resp.Vectors, err = e.eval.DisparateImpactSweep(points)
-	case "ndcg":
-		resp.Values, err = e.eval.NDCGSweep(points)
-	}
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+	if req.Metric == "fpr" && !e.d.HasOutcomes() {
+		writeError(w, http.StatusBadRequest, "dataset %q has no outcomes; fpr sweeps require them", req.Dataset)
 		return
 	}
-	if resp.Vectors != nil {
-		resp.Norms = make([]float64, len(resp.Vectors))
+	// Coalesce concurrent identical sweeps; the leader probes the
+	// per-point cache and computes only the missing rows.
+	v, _, err := s.flights.Do(req.requestKey(), func() (any, error) {
+		return s.evaluateSweep(e, req)
+	})
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v.(EvaluateResponse))
+}
+
+// evaluateSweep answers a sweep from the per-point row cache plus one
+// prefix-sweep computation over the missing points. Rows are cached under
+// (dataset, metric, bonus bits, k bits), so any earlier sweep that covered
+// a point answers it — a subset of a cached k-grid costs len(points) map
+// lookups, and a widened grid ranks once for just the new cuts.
+func (s *Server) evaluateSweep(e *Entry, req EvaluateRequest) (EvaluateResponse, error) {
+	resp := EvaluateResponse{Dataset: req.Dataset, Metric: req.Metric, FairNames: e.d.FairNames()}
+	n := len(req.Points)
+	vector := req.Metric != "ndcg"
+	if vector {
+		resp.Vectors = make([][]float64, n)
+	} else {
+		resp.Values = make([]float64, n)
+	}
+	keys := make([]string, n)
+	var missing []int
+	for i, pt := range req.Points {
+		keys[i] = pointKey(req.Dataset, req.Metric, pt)
+		v, ok := s.cache.get(keys[i])
+		if !ok {
+			missing = append(missing, i)
+			continue
+		}
+		if vector {
+			resp.Vectors[i] = v.([]float64)
+		} else {
+			resp.Values[i] = v.(float64)
+		}
+	}
+	resp.CachedPoints = n - len(missing)
+
+	if len(missing) > 0 {
+		s.sweepExecs.Add(1)
+		pts := make([]core.SweepPoint, len(missing))
+		for r, i := range missing {
+			pts[r] = core.SweepPoint{Bonus: req.Points[i].Bonus, K: req.Points[i].K}
+		}
+		var vecs [][]float64
+		var vals []float64
+		var err error
+		switch req.Metric {
+		case "disparity":
+			vecs, err = e.eval.DisparitySweep(pts)
+		case "di":
+			vecs, err = e.eval.DisparateImpactSweep(pts)
+		case "fpr":
+			vecs, err = e.eval.FPRDiffSweep(pts)
+		case "ndcg":
+			vals, err = e.eval.NDCGSweep(pts)
+		}
+		if err != nil {
+			return EvaluateResponse{}, &httpError{http.StatusBadRequest, err.Error()}
+		}
+		for r, i := range missing {
+			if vector {
+				resp.Vectors[i] = vecs[r]
+				s.cache.put(keys[i], vecs[r])
+			} else {
+				resp.Values[i] = vals[r]
+				s.cache.put(keys[i], vals[r])
+			}
+		}
+	}
+	if vector {
+		resp.Norms = make([]float64, n)
 		for i, v := range resp.Vectors {
 			resp.Norms[i] = metrics.Norm(v)
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp, nil
 }
 
 // parseBonusParam parses the comma-separated ?bonus= vector.

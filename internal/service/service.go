@@ -22,6 +22,12 @@
 //     so repeated what-if queries cost a map lookup. Training is
 //     deterministic given (dataset, objective, options, seed), which makes
 //     the cache exact, not heuristic.
+//   - Evaluate sweeps are cached per point: each (dataset, metric, bonus,
+//     k) row is its own LRU entry, so a cached sweep answers any subset of
+//     its k-grid and a widened grid only computes the new cuts — on one
+//     ranking, through the core prefix-sweep engine.
+//   - Concurrent identical cold requests (train and evaluate) are
+//     coalesced: one leader runs the pipeline, the rest share its result.
 //
 // Handlers:
 //
@@ -36,6 +42,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"fairrank/internal/dataset"
@@ -64,6 +71,16 @@ type Server struct {
 	reg   *Registry
 	cache *lruCache
 	start time.Time
+
+	// flights coalesces concurrent identical cold requests (train and
+	// evaluate) into one pipeline execution.
+	flights flightGroup
+
+	// Execution counters observed by tests: how many times the cold train
+	// pipeline and the cold sweep computation actually ran (coalesced and
+	// cached requests don't count).
+	trainExecs atomic.Int64
+	sweepExecs atomic.Int64
 }
 
 // New returns a Server with no datasets registered.
