@@ -22,6 +22,16 @@
 //
 //	dca -in school.csv -k 0.05 -sweep 0.01:0.30:0.01 > curve.csv
 //	dca -in school.csv -k 0.05 -sweep 0.05,0.1,0.25
+//
+// With -counterfactual the trained vector is audited for the listed
+// objects: each gets its minimal score and bonus-point change that flips
+// its selection (exact at float64 resolution, computed from one ranking).
+// With -report the complete versioned audit bundle — published cutoff,
+// policy with leave-one-out attribution, beneficiary lists, counterfactual
+// margins at the cutoff — is written to stdout as json, csv, or markdown:
+//
+//	dca -in school.csv -k 0.05 -counterfactual 12,99,1044
+//	dca -in school.csv -k 0.05 -report md > audit.md
 package main
 
 import (
@@ -51,6 +61,8 @@ func main() {
 		seed        = flag.Int64("seed", 1, "sampling seed")
 		explain     = flag.Bool("explain", false, "print the transparency report (cutoff, per-group counts, beneficiaries)")
 		sweepSpec   = flag.String("sweep", "", "evaluate the trained vector over a k-grid and print CSV: comma-separated fractions or lo:hi:step")
+		cfSpec      = flag.String("counterfactual", "", "comma-separated object ids: print each object's minimal selection-flipping delta")
+		reportFmt   = flag.String("report", "", "write the full audit bundle to stdout: json, csv or md")
 	)
 	flag.Parse()
 
@@ -80,6 +92,23 @@ func main() {
 	sweepKs, err := parseSweepSpec(*sweepSpec)
 	if err != nil {
 		usage(err.Error())
+	}
+	cfObjs, err := parseObjectSpec(*cfSpec)
+	if err != nil {
+		usage(err.Error())
+	}
+	switch *reportFmt {
+	case "", "json", "csv", "md", "markdown":
+	default:
+		usage(fmt.Sprintf("-report must be json, csv or md, got %q", *reportFmt))
+	}
+	// -report replaces stdout with the bundle; combining it with the other
+	// output modes would silently drop them, so reject the combination.
+	if *reportFmt != "" && (*sweepSpec != "" || *cfSpec != "" || *explain || *testIn != "") {
+		usage("-report writes the audit bundle alone; drop -sweep/-counterfactual/-explain/-test")
+	}
+	if *sweepSpec != "" && (*cfSpec != "" || *explain || *testIn != "") {
+		usage("-sweep prints the trade-off CSV alone; drop -counterfactual/-explain/-test")
 	}
 
 	d, err := fairrank.ReadCSVFile(*in)
@@ -113,6 +142,22 @@ func main() {
 		pol = fairrank.Adverse
 	}
 	ev := fairrank.NewEvaluator(d, scorer, pol)
+
+	if *reportFmt != "" {
+		bundle, err := fairrank.BuildAuditBundle(ev, fairrank.AuditConfig{
+			Dataset:    *in,
+			Bonus:      res.Bonus,
+			K:          *k,
+			IncludeFPR: d.HasOutcomes(),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if err := bundle.Render(os.Stdout, *reportFmt); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if sweepKs != nil {
 		if err := writeSweepCSV(d, ev, res.Bonus, sweepKs); err != nil {
@@ -162,6 +207,31 @@ func main() {
 		}
 	}
 
+	if cfObjs != nil {
+		cfs, err := ev.CounterfactualBatch(res.Bonus, *k, cfObjs)
+		if err != nil {
+			fatal(err)
+		}
+		ct := &report.Table{
+			Title:   "\nCounterfactuals (minimal change that flips selection)",
+			Headers: []string{"Object", "Rank", "Selected", "Effective", "Cutoff", "ScoreDelta", "BonusDelta"},
+		}
+		for _, cf := range cfs {
+			if !cf.Feasible {
+				ct.AddRow(strconv.Itoa(cf.Object), strconv.Itoa(cf.Rank), fmt.Sprint(cf.Selected),
+					report.Float(cf.Effective), "-", "infeasible", "infeasible")
+				continue
+			}
+			ct.AddRow(strconv.Itoa(cf.Object), strconv.Itoa(cf.Rank), fmt.Sprint(cf.Selected),
+				report.Float(cf.Effective), report.Float(cf.Cutoff),
+				strconv.FormatFloat(cf.ScoreDelta, 'g', 6, 64),
+				strconv.FormatFloat(cf.BonusDelta, 'g', 6, 64))
+		}
+		if err := ct.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+
 	if *testIn != "" {
 		testD, err := fairrank.ReadCSVFile(*testIn)
 		if err != nil {
@@ -183,6 +253,28 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// parseObjectSpec parses the -counterfactual object list: comma-separated
+// non-negative ids. Range checking against the population happens after
+// the CSV is loaded. It returns nil for the empty spec.
+func parseObjectSpec(spec string) ([]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	parts := strings.Split(spec, ",")
+	objs := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("-counterfactual object %q: %v", p, err)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("-counterfactual object %d is negative", v)
+		}
+		objs[i] = v
+	}
+	return objs, nil
 }
 
 // parseSweepSpec parses the -sweep k-grid: either comma-separated

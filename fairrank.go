@@ -68,6 +68,7 @@ import (
 	"fairrank/internal/matching"
 	"fairrank/internal/metrics"
 	"fairrank/internal/rank"
+	"fairrank/internal/report"
 	"fairrank/internal/service"
 	"fairrank/internal/synth"
 )
@@ -217,6 +218,39 @@ type Explanation = core.Explanation
 // ObjectExplanation breaks one object's effective score into its published
 // components.
 type ObjectExplanation = core.ObjectExplanation
+
+// Counterfactual is one object's answer to "what is the smallest change
+// that flips my selection?": its standing against the published cutoff
+// and the minimal score/bonus-point deltas, exact at float64 resolution.
+// Compute one with Evaluator.Counterfactual, or many from a single
+// ranking with Evaluator.CounterfactualBatch.
+type Counterfactual = core.Counterfactual
+
+// DisparityAttribution is the group-level leave-one-attribute-out
+// decomposition of a bonus vector's disparity reduction, from
+// Evaluator.AttributeDisparity.
+type DisparityAttribution = core.Attribution
+
+// AuditBundle is the versioned audit bundle of a bonus-point policy:
+// published cutoff, per-attribute policy lines with attribution,
+// beneficiary lists, and counterfactual margins at the cutoff. Render it
+// as JSON, CSV, or Markdown.
+type AuditBundle = report.Bundle
+
+// AuditConfig parameterizes BuildAuditBundle.
+type AuditConfig = report.BundleConfig
+
+// AuditBundleVersion is the schema version BuildAuditBundle stamps into
+// bundles.
+const AuditBundleVersion = report.BundleVersion
+
+// BuildAuditBundle assembles the audit bundle for a bonus policy at
+// fraction cfg.K on the evaluator's dataset. It rejects empty datasets,
+// missing or all-zero policies, and FPR requests without outcomes — an
+// audit must have something real to audit.
+func BuildAuditBundle(ev *Evaluator, cfg AuditConfig) (*AuditBundle, error) {
+	return report.BuildBundle(ev, cfg)
+}
 
 // EnsembleResult aggregates DCA runs across independent seeds.
 type EnsembleResult = core.EnsembleResult

@@ -1,0 +1,6 @@
+// Package baselines implements the comparison systems of the paper's
+// Section VI-C: the single set-aside quota used by real school districts
+// (Figure 6), the Multinomial FA*IR post-processing re-ranker of Zehlike et
+// al. 2022 (Table II), and the (Δ+2)-approximation greedy re-ranker of
+// Celis et al. (Figure 7).
+package baselines

@@ -1,0 +1,56 @@
+// Package core implements the paper's primary contribution: the Disparity
+// Compensation Algorithm (DCA).
+//
+// DCA searches for a vector of compensatory bonus points B >= 0 that, when
+// combined with the fairness attributes of each object
+// (f_b(o) = f(o) ± A_f·B, Definition 2), minimizes the L2 norm of a
+// fairness objective vector. The search cannot use gradients — top-k
+// selection makes the objective a step function — so DCA descends along the
+// objective vector itself, evaluated on small random samples:
+//
+//   - CoreDCA (Algorithm 1): a ladder of decreasing learning rates; each
+//     step draws a fresh sample, measures the objective of the top-k
+//     selection under the current bonus vector, and moves the vector
+//     against it.
+//   - Refine (Algorithm 2): Adam-driven steps on epoch samples followed by
+//     a rolling average of the iterates and rounding to a stakeholder
+//     granularity.
+//   - Run: the full pipeline (Core + Refine + rounding) the paper calls
+//     "DCA".
+//   - FullDCA: the whole-dataset variant of Section IV-C, which satisfies
+//     the swap guarantee of Theorem 4.1 and is used to validate the sampled
+//     algorithm.
+//
+// The objective is pluggable (Section VI-C5). Any PrefixMetric — a
+// fairness vector of a selected prefix, one dimension per fairness
+// attribute, bounded in [-1, 1] and zero at parity — can be optimized at a
+// fixed selection fraction or under the logarithmic discounting of
+// Section IV-E, which covers every combination the paper evaluates:
+// disparity@k, log-discounted disparity, disparate impact, and false
+// positive rate differences.
+//
+// # Evaluation and explanation
+//
+// Measuring a bonus vector's full-population effect goes through the
+// Evaluator, which precomputes the base scores and the uncompensated
+// ranking once and is safe for concurrent use (pooled engine workspaces).
+// Its sweep methods (DisparitySweep, NDCGSweep, DisparateImpactSweep,
+// FPRDiffSweep) implement the prefix-sweep engine of sweep.go: points
+// sharing a bonus vector are ranked once and every selection fraction is
+// answered from prefix aggregates, bit-identically to the pointwise
+// methods.
+//
+// The explainability workloads build on the same rankings:
+//
+//   - Explain publishes the transparency report of Section III-C (cutoff,
+//     per-group counts, beneficiaries); ExplainObject breaks one object's
+//     effective score into its published components.
+//   - Counterfactual and CounterfactualBatch answer "what is the smallest
+//     score or bonus change that flips this object's selection?" exactly:
+//     the flip is decided against a single boundary competitor in the
+//     ranked order, and a binary search over float64 bit patterns returns
+//     the smallest representable delta that flips (counterfactual.go).
+//   - AttributeDisparity decomposes the policy's disparity reduction by
+//     leaving each attribute's bonus out in turn — the group-level
+//     attribution behind the audit bundles of internal/report.
+package core

@@ -78,6 +78,9 @@ func NewEvaluator(d *dataset.Dataset, scorer rank.Scorer, pol rank.Polarity) *Ev
 // Dataset returns the underlying dataset.
 func (e *Evaluator) Dataset() *dataset.Dataset { return e.d }
 
+// Polarity returns the selection polarity the evaluator was built with.
+func (e *Evaluator) Polarity() rank.Polarity { return e.pol }
+
 // BaseScores returns the uncompensated scores (do not modify).
 func (e *Evaluator) BaseScores() []float64 { return e.base }
 

@@ -1,33 +1,3 @@
-// Package core implements the paper's primary contribution: the Disparity
-// Compensation Algorithm (DCA).
-//
-// DCA searches for a vector of compensatory bonus points B >= 0 that, when
-// combined with the fairness attributes of each object
-// (f_b(o) = f(o) ± A_f·B, Definition 2), minimizes the L2 norm of a
-// fairness objective vector. The search cannot use gradients — top-k
-// selection makes the objective a step function — so DCA descends along the
-// objective vector itself, evaluated on small random samples:
-//
-//   - CoreDCA (Algorithm 1): a ladder of decreasing learning rates; each
-//     step draws a fresh sample, measures the objective of the top-k
-//     selection under the current bonus vector, and moves the vector
-//     against it.
-//   - Refine (Algorithm 2): Adam-driven steps on epoch samples followed by
-//     a rolling average of the iterates and rounding to a stakeholder
-//     granularity.
-//   - Run: the full pipeline (Core + Refine + rounding) the paper calls
-//     "DCA".
-//   - FullDCA: the whole-dataset variant of Section IV-C, which satisfies
-//     the swap guarantee of Theorem 4.1 and is used to validate the sampled
-//     algorithm.
-//
-// The objective is pluggable (Section VI-C5). Any PrefixMetric — a
-// fairness vector of a selected prefix, one dimension per fairness
-// attribute, bounded in [-1, 1] and zero at parity — can be optimized at a
-// fixed selection fraction or under the logarithmic discounting of
-// Section IV-E, which covers every combination the paper evaluates:
-// disparity@k, log-discounted disparity, disparate impact, and false
-// positive rate differences.
 package core
 
 import (

@@ -1,9 +1,3 @@
-// Package csvio serializes datasets to and from CSV so that the CLI tools
-// (cmd/datagen, cmd/dca) can interoperate with external pipelines.
-//
-// The column schema is self-describing: score attributes are prefixed
-// "score:", fairness attributes "fair:", and the optional ground-truth
-// outcome column is named "outcome" with values 0/1.
 package csvio
 
 import (

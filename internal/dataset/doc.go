@@ -1,0 +1,20 @@
+// Package dataset provides the columnar object model shared by every other
+// package in the repository.
+//
+// A Dataset holds a fixed population of objects (students, defendants, ...).
+// Each object has a row of score attributes (the inputs of the ranking
+// function, e.g. GPA and test scores), a row of fairness attributes (the
+// dimensions on which disparity is measured, e.g. low-income status), and an
+// optional boolean ground-truth outcome (used by equalized-odds style
+// metrics such as false positive rates).
+//
+// Score attributes are unconstrained floats. Fairness attributes must lie in
+// [0, 1]: binary membership is encoded as {0, 1} and continuous attributes
+// (such as the Economic Need Index) are normalized to [0, 1], matching
+// Definition 3 of the paper where every disparity dimension is bounded in
+// [-1, 1].
+//
+// Storage is column major: centroid computations, which dominate the inner
+// loop of the Disparity Compensation Algorithm, scan one contiguous slice
+// per fairness dimension.
+package dataset

@@ -1,0 +1,17 @@
+// Package engine provides the reusable score→select→measure machinery
+// behind DCA: a preallocated scratch Workspace, a single descent loop
+// parameterized by a sample source and an update rule, and a worker pool
+// that gives every goroutine its own Workspace.
+//
+// The paper's efficiency claim — sampling-based DCA is sub-linear and fast
+// enough for interactive what-if iteration — only holds if the per-step
+// cost is dominated by arithmetic, not by allocation and hashing. The
+// engine therefore owns every buffer of the hot path (effective scores,
+// selection indices, per-dimension objective accumulators) and exposes
+// in-place variants of the objective API so a descent step allocates
+// nothing.
+//
+// Layering: engine sits below core. It depends only on dataset, rank,
+// metrics, sample and optimize; core binds its objectives to the engine's
+// Objective interface and drives the loop.
+package engine

@@ -1,0 +1,11 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Sections V and VI). Each experiment is a named Runner in the
+// Registry; cmd/experiments prints the resulting tables/series and
+// bench_test.go at the repository root wraps each runner in a testing.B
+// benchmark.
+//
+// All experiments are deterministic: datasets and DCA runs are seeded, and
+// the Env memoizes generated cohorts and trained bonus vectors so that
+// experiments sharing inputs (e.g. the Figure 2/3 sweeps reusing the
+// Table I vector) agree exactly.
+package experiments

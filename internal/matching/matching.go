@@ -1,14 +1,3 @@
-// Package matching implements the deferred acceptance (DA) school matching
-// substrate of the paper's motivating scenario (Section III-A): NYC
-// assigns students to high schools with a student-proposing DA algorithm
-// over the schools' admission rubrics. The package supports set-aside
-// seats (the quota mechanism DCA is compared against) and bonus-adjusted
-// rubrics (the DCA mechanism), and provides a stability checker used by
-// the property tests.
-//
-// Because DA decides how far down its list each school admits, the
-// admission cutoff k is unknown in advance — exactly the situation the
-// paper's logarithmically discounted DCA mode (Section IV-E) targets.
 package matching
 
 import (

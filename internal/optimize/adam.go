@@ -1,9 +1,3 @@
-// Package optimize provides the optimizers behind DCA: the Adam adaptive
-// step rule used by the refinement pass (Algorithm 2), plain SGD with
-// momentum, learning-rate ladders for the core pass (Algorithm 1), and a
-// from-scratch Nelder-Mead simplex minimizer used as the derivative-free
-// comparator the paper argues against (challenge #4: such methods re-rank
-// the data hundreds of times).
 package optimize
 
 import (

@@ -1,0 +1,7 @@
+// Package rank implements the score-based ranking machinery of the paper:
+// ranking functions over score attributes (Definition 1), bonus-point
+// application (Definition 2) with support for adverse selections where a
+// lower score is desirable (the COMPAS scenario), and top-k% selection with
+// three interchangeable algorithms (full sort, quickselect, bounded heap)
+// for the selection-strategy ablation.
+package rank

@@ -1,0 +1,405 @@
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"fairrank/internal/core"
+	"fairrank/internal/rank"
+)
+
+// BundleVersion identifies the audit-bundle schema. Bump it whenever a
+// field is added, removed, or changes meaning, so downstream consumers of
+// archived bundles can dispatch on the version they were written with.
+const BundleVersion = "1"
+
+// DefaultMargins is the number of boundary objects audited on each side of
+// the cutoff when BundleConfig.Margins is zero.
+const DefaultMargins = 5
+
+// MaxBeneficiaryIDs caps the AdmittedByBonus and DisplacedByBonus id
+// lists a bundle carries. AdmittedCount/DisplacedCount always report the
+// true totals; the lists hold the first MaxBeneficiaryIDs ids in
+// ascending order. A policy audit needs the counts and a verifiable
+// sample — a full population dump is a data export, not a policy
+// document, and an unbounded list would also let one cached bundle pin
+// O(population) memory in a serving-layer cache.
+const MaxBeneficiaryIDs = 2048
+
+// BundleConfig parameterizes BuildBundle.
+type BundleConfig struct {
+	// Dataset names the audited population in the bundle metadata (the
+	// evaluator itself carries no name).
+	Dataset string
+	// Bonus is the published bonus-point policy under audit. It must be a
+	// full, non-zero vector: an audit of "no policy" has no policy to
+	// publish, and a truncated vector would silently drop attributes.
+	Bonus []float64
+	// K is the audited selection fraction, in (0, 1].
+	K float64
+	// Margins is how many objects on each side of the published cutoff get
+	// counterfactual margin lines; 0 means DefaultMargins, negative is
+	// rejected. The window is clamped to the population.
+	Margins int
+	// IncludeFPR adds per-group false-positive-rate differences to the
+	// bundle; the dataset must carry ground-truth outcomes.
+	IncludeFPR bool
+}
+
+// PolicyLine is one fairness attribute's row of the published policy: its
+// bonus points, its selection counts with and without compensation, and
+// its leave-one-out share of the disparity reduction.
+type PolicyLine struct {
+	Attribute       string  `json:"attribute"`
+	Points          float64 `json:"points"`
+	GroupSize       int     `json:"group_size"`
+	SelectedWith    int     `json:"selected_with"`
+	SelectedWithout int     `json:"selected_without"`
+	// LeaveOneOutNorm is the disparity norm with this attribute's bonus
+	// withdrawn; Contribution is how much worse that is than the full
+	// policy's norm.
+	LeaveOneOutNorm float64 `json:"leave_one_out_norm"`
+	Contribution    float64 `json:"contribution"`
+}
+
+// MarginLine is one boundary object's counterfactual margin: how far its
+// effective score sits from flipping, in score and in bonus points. When
+// Feasible is false no change can flip the object (the selection covers
+// the whole population) and the deltas are meaningless — renderers must
+// not present them as "zero change flips".
+type MarginLine struct {
+	Object     int     `json:"object"`
+	Rank       int     `json:"rank"`
+	Selected   bool    `json:"selected"`
+	Effective  float64 `json:"effective"`
+	ScoreDelta float64 `json:"score_delta"`
+	BonusDelta float64 `json:"bonus_delta"`
+	Feasible   bool    `json:"feasible"`
+}
+
+// Bundle is a versioned audit bundle: everything a regulator, journalist,
+// or applicant needs to verify a published bonus-point policy — the
+// cutoff, the policy itself with per-group effects and attribution, the
+// beneficiary and displaced lists, and exact counterfactual margins around
+// the cutoff. Build one with BuildBundle; render it with RenderJSON,
+// RenderCSV, RenderMarkdown, or the format-dispatching Render.
+type Bundle struct {
+	Version  string  `json:"version"`
+	Dataset  string  `json:"dataset"`
+	N        int     `json:"n"`
+	Polarity string  `json:"polarity"`
+	K        float64 `json:"k"`
+	Selected int     `json:"selected"`
+
+	// Cutoff is the effective score of the last selected object under the
+	// policy; BaseCutoff the same for the uncompensated ranking.
+	Cutoff     float64 `json:"cutoff"`
+	BaseCutoff float64 `json:"base_cutoff"`
+
+	Policy []PolicyLine `json:"policy"`
+
+	// NormBefore/NormAfter are the disparity norms without and with the
+	// policy; NDCG is the utility retained relative to the uncompensated
+	// ranking.
+	NormBefore float64 `json:"norm_before"`
+	NormAfter  float64 `json:"norm_after"`
+	NDCG       float64 `json:"ndcg"`
+
+	// FPRDiff carries per-group false-positive-rate differences under the
+	// policy when the config asked for them (requires outcomes).
+	FPRDiff []float64 `json:"fpr_diff,omitempty"`
+
+	// AdmittedCount and DisplacedCount are the numbers of objects whose
+	// selection status the policy changed; AdmittedByBonus and
+	// DisplacedByBonus list their ids in ascending order, truncated to
+	// MaxBeneficiaryIDs entries each.
+	AdmittedCount    int   `json:"admitted_count"`
+	DisplacedCount   int   `json:"displaced_count"`
+	AdmittedByBonus  []int `json:"admitted_by_bonus"`
+	DisplacedByBonus []int `json:"displaced_by_bonus"`
+
+	// Margins are counterfactual margin lines for the objects closest to
+	// the cutoff on both sides, in rank order.
+	Margins []MarginLine `json:"margins"`
+}
+
+// BuildBundle assembles the audit bundle for a bonus policy at fraction k
+// from one evaluator: the transparency report (cutoff, counts,
+// beneficiaries), the leave-one-out attribution, nDCG, and counterfactual
+// margins for the boundary window. Validation happens before any
+// computation: an empty dataset, a missing or all-zero bonus policy, a
+// dimensionality mismatch, a bad fraction, negative margins, and an FPR
+// request without outcomes are all rejected.
+func BuildBundle(ev *core.Evaluator, cfg BundleConfig) (*Bundle, error) {
+	d := ev.Dataset()
+	if d.N() == 0 {
+		return nil, fmt.Errorf("report: cannot audit an empty dataset")
+	}
+	if len(cfg.Bonus) == 0 {
+		return nil, fmt.Errorf("report: missing bonus policy (nothing to audit)")
+	}
+	if len(cfg.Bonus) != d.NumFair() {
+		return nil, fmt.Errorf("report: bonus has %d dimensions, dataset has %d", len(cfg.Bonus), d.NumFair())
+	}
+	zero := true
+	for _, b := range cfg.Bonus {
+		if b != 0 {
+			zero = false
+			break
+		}
+	}
+	if zero {
+		return nil, fmt.Errorf("report: bonus policy is all zero (nothing to audit)")
+	}
+	if err := rank.CheckFraction(cfg.K); err != nil {
+		return nil, err
+	}
+	if cfg.Margins < 0 {
+		return nil, fmt.Errorf("report: margins must be non-negative, got %d", cfg.Margins)
+	}
+	if cfg.IncludeFPR && !d.HasOutcomes() {
+		return nil, fmt.Errorf("report: FPR differences require outcomes, dataset has none")
+	}
+	margins := cfg.Margins
+	if margins == 0 {
+		margins = DefaultMargins
+	}
+
+	exp, err := ev.Explain(cfg.Bonus, cfg.K)
+	if err != nil {
+		return nil, err
+	}
+	att, err := ev.AttributeDisparity(cfg.Bonus, cfg.K)
+	if err != nil {
+		return nil, err
+	}
+	ndcg, err := ev.NDCG(cfg.Bonus, cfg.K)
+	if err != nil {
+		return nil, err
+	}
+
+	b := &Bundle{
+		Version:    BundleVersion,
+		Dataset:    cfg.Dataset,
+		N:          d.N(),
+		Polarity:   ev.Polarity().String(),
+		K:          cfg.K,
+		Selected:   exp.Selected,
+		Cutoff:     exp.Cutoff,
+		BaseCutoff: exp.BaseCutoff,
+		// The attribution sweep already evaluated the zero and full
+		// vectors; its norms are bit-identical to direct Disparity calls
+		// (the prefix-sweep invariant), so nothing is recomputed here.
+		NormBefore:       att.NormBase,
+		NormAfter:        att.NormFull,
+		NDCG:             ndcg,
+		AdmittedCount:    len(exp.AdmittedByBonus),
+		DisplacedCount:   len(exp.DisplacedByBonus),
+		AdmittedByBonus:  capIDs(exp.AdmittedByBonus),
+		DisplacedByBonus: capIDs(exp.DisplacedByBonus),
+	}
+	b.Policy = make([]PolicyLine, d.NumFair())
+	for j := range b.Policy {
+		b.Policy[j] = PolicyLine{
+			Attribute:       exp.FairNames[j],
+			Points:          cfg.Bonus[j],
+			GroupSize:       d.GroupSize(j),
+			SelectedWith:    exp.GroupCounts[j],
+			SelectedWithout: exp.BaseGroupCounts[j],
+			LeaveOneOutNorm: att.LeaveOneOut[j],
+			Contribution:    att.Contribution[j],
+		}
+	}
+	if cfg.IncludeFPR {
+		fpr, err := ev.FPRDiff(cfg.Bonus, cfg.K)
+		if err != nil {
+			return nil, err
+		}
+		b.FPRDiff = fpr
+	}
+
+	// Counterfactual margins for the boundary window: the `margins` last
+	// selected and `margins` first excluded objects, in rank order, from
+	// one ranking.
+	cfs, err := ev.CounterfactualWindow(cfg.Bonus, cfg.K, margins)
+	if err != nil {
+		return nil, err
+	}
+	b.Margins = make([]MarginLine, len(cfs))
+	for i, cf := range cfs {
+		b.Margins[i] = MarginLine{
+			Object:     cf.Object,
+			Rank:       cf.Rank,
+			Selected:   cf.Selected,
+			Effective:  cf.Effective,
+			ScoreDelta: cf.ScoreDelta,
+			BonusDelta: cf.BonusDelta,
+			Feasible:   cf.Feasible,
+		}
+	}
+	return b, nil
+}
+
+// capIDs copies at most MaxBeneficiaryIDs leading ids; the copy also
+// detaches the bundle from the explanation's backing slice.
+func capIDs(ids []int) []int {
+	if len(ids) > MaxBeneficiaryIDs {
+		ids = ids[:MaxBeneficiaryIDs]
+	}
+	return append([]int(nil), ids...)
+}
+
+// Render writes the bundle in the named format: "json", "csv", or
+// "markdown" (alias "md").
+func (b *Bundle) Render(w io.Writer, format string) error {
+	switch format {
+	case "json":
+		return b.RenderJSON(w)
+	case "csv":
+		return b.RenderCSV(w)
+	case "markdown", "md":
+		return b.RenderMarkdown(w)
+	default:
+		return fmt.Errorf("report: unknown bundle format %q (want json, csv or markdown)", format)
+	}
+}
+
+// RenderJSON writes the bundle as indented JSON, the machine-readable
+// archival form.
+func (b *Bundle) RenderJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// RenderCSV writes the bundle as sectioned CSV: every row starts with a
+// section tag (meta, policy, fpr, admitted, displaced, margin) so the flat
+// file remains self-describing when sections are filtered with standard
+// tools.
+func (b *Bundle) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	meta := [][2]string{
+		{"version", b.Version},
+		{"dataset", b.Dataset},
+		{"n", strconv.Itoa(b.N)},
+		{"polarity", b.Polarity},
+		{"k", fmtG(b.K)},
+		{"selected", strconv.Itoa(b.Selected)},
+		{"cutoff", fmtG(b.Cutoff)},
+		{"base_cutoff", fmtG(b.BaseCutoff)},
+		{"norm_before", fmtG(b.NormBefore)},
+		{"norm_after", fmtG(b.NormAfter)},
+		{"ndcg", fmtG(b.NDCG)},
+		{"admitted_count", strconv.Itoa(b.AdmittedCount)},
+		{"displaced_count", strconv.Itoa(b.DisplacedCount)},
+	}
+	for _, kv := range meta {
+		if err := cw.Write([]string{"meta", kv[0], kv[1]}); err != nil {
+			return err
+		}
+	}
+	if err := cw.Write([]string{"policy", "attribute", "points", "group_size",
+		"selected_with", "selected_without", "leave_one_out_norm", "contribution"}); err != nil {
+		return err
+	}
+	for _, p := range b.Policy {
+		if err := cw.Write([]string{"policy", p.Attribute, fmtG(p.Points),
+			strconv.Itoa(p.GroupSize), strconv.Itoa(p.SelectedWith), strconv.Itoa(p.SelectedWithout),
+			fmtG(p.LeaveOneOutNorm), fmtG(p.Contribution)}); err != nil {
+			return err
+		}
+	}
+	for j, v := range b.FPRDiff {
+		if err := cw.Write([]string{"fpr", b.Policy[j].Attribute, fmtG(v)}); err != nil {
+			return err
+		}
+	}
+	for _, id := range b.AdmittedByBonus {
+		if err := cw.Write([]string{"admitted", strconv.Itoa(id)}); err != nil {
+			return err
+		}
+	}
+	for _, id := range b.DisplacedByBonus {
+		if err := cw.Write([]string{"displaced", strconv.Itoa(id)}); err != nil {
+			return err
+		}
+	}
+	if err := cw.Write([]string{"margin", "object", "rank", "selected",
+		"effective", "score_delta", "bonus_delta", "feasible"}); err != nil {
+		return err
+	}
+	for _, m := range b.Margins {
+		score, bonus := fmtG(m.ScoreDelta), fmtG(m.BonusDelta)
+		if !m.Feasible {
+			// An unflippable object has no meaningful delta; empty cells
+			// beat a literal 0 that reads as "zero change flips".
+			score, bonus = "", ""
+		}
+		if err := cw.Write([]string{"margin", strconv.Itoa(m.Object), strconv.Itoa(m.Rank),
+			strconv.FormatBool(m.Selected), fmtG(m.Effective), score, bonus,
+			strconv.FormatBool(m.Feasible)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderMarkdown writes the bundle as the human-readable policy document —
+// the form the paper argues bonus points make possible: published in
+// advance, read directly as policy.
+func (b *Bundle) RenderMarkdown(w io.Writer) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("# Fair-ranking audit bundle (v%s)\n\n", b.Version)
+	p("Dataset **%s** — %d objects, %s selection, top %s%% (%d selected).\n\n",
+		b.Dataset, b.N, b.Polarity, fmtG(b.K*100), b.Selected)
+	p("Published cutoff: **%s** (uncompensated: %s). ", fmtG(b.Cutoff), fmtG(b.BaseCutoff))
+	p("Disparity norm %s → %s; nDCG %s.\n\n", fmtG(b.NormBefore), fmtG(b.NormAfter), fmtG(b.NDCG))
+
+	p("## Policy\n\n")
+	p("| Attribute | Bonus points | Group size | Selected (with) | Selected (without) | Norm w/o this bonus | Contribution |\n")
+	p("| --- | ---: | ---: | ---: | ---: | ---: | ---: |\n")
+	for _, line := range b.Policy {
+		p("| %s | %s | %d | %d | %d | %s | %s |\n", line.Attribute, fmtG(line.Points),
+			line.GroupSize, line.SelectedWith, line.SelectedWithout,
+			fmtG(line.LeaveOneOutNorm), fmtG(line.Contribution))
+	}
+	p("\n")
+	if len(b.FPRDiff) > 0 {
+		p("## False-positive-rate differences\n\n| Attribute | FPR diff |\n| --- | ---: |\n")
+		for j, v := range b.FPRDiff {
+			p("| %s | %s |\n", b.Policy[j].Attribute, fmtG(v))
+		}
+		p("\n")
+	}
+	p("## Selection changes\n\nAdmitted through bonus points: %d; displaced: %d.\n\n",
+		b.AdmittedCount, b.DisplacedCount)
+
+	p("## Counterfactual margins at the cutoff\n\n")
+	p("Minimal change that flips each boundary object, in effective score and in bonus points.\n\n")
+	p("| Object | Rank | Selected | Effective | Score delta | Bonus delta |\n")
+	p("| ---: | ---: | :-: | ---: | ---: | ---: |\n")
+	for _, m := range b.Margins {
+		score, bonus := fmtG(m.ScoreDelta), fmtG(m.BonusDelta)
+		if !m.Feasible {
+			score, bonus = "unflippable", "unflippable"
+		}
+		p("| %d | %d | %t | %s | %s | %s |\n", m.Object, m.Rank, m.Selected,
+			fmtG(m.Effective), score, bonus)
+	}
+	return err
+}
+
+// fmtG formats a float at full precision, the bundle's archival rule:
+// rendered numbers must survive a round-trip.
+func fmtG(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,6 +1,3 @@
-// Package report renders experiment results as aligned text tables and
-// tab-separated series, the formats cmd/experiments uses to print the
-// paper's tables and figure data.
 package report
 
 import (

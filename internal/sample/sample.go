@@ -1,9 +1,3 @@
-// Package sample provides the deterministic sampling machinery behind DCA.
-//
-// Algorithm 1 of the paper draws "a random sample of sample size from O" at
-// every descent step; Algorithm 2 consumes "the next sample in O",
-// i.e. walks the dataset in randomized epochs. Both are provided here with
-// explicit seeding so every experiment in the repository is reproducible.
 package sample
 
 import (

@@ -289,6 +289,134 @@ func (r EvaluateRequest) requestKey() string {
 	return string(b)
 }
 
+// MaxCounterfactualObjects bounds one /v1/counterfactual request, mirroring
+// MaxSweepPoints: a request pays one ranking regardless of how many objects
+// it asks about, but the response size stays bounded.
+const MaxCounterfactualObjects = 4096
+
+// MaxReportMargins bounds the ?margins= window of /v1/report on each side
+// of the cutoff, so a single audit bundle cannot carry a
+// population-sized margin table into the shared LRU.
+const MaxReportMargins = MaxCounterfactualObjects / 2
+
+// CounterfactualRequest is the body of POST /v1/counterfactual: for each
+// listed object, the minimal score/bonus change that flips its selection
+// under the bonus vector at fraction k. A nil bonus audits the
+// uncompensated ranking.
+type CounterfactualRequest struct {
+	Dataset string    `json:"dataset"`
+	Bonus   []float64 `json:"bonus"`
+	K       float64   `json:"k"`
+	Objects []int     `json:"objects"`
+}
+
+// validate checks everything that does not need the dataset; dims is the
+// fairness dimensionality of the resolved dataset. Object-range checks
+// need the population size and happen in the handler.
+func (r CounterfactualRequest) validate(dims int) error {
+	if err := rank.CheckFraction(r.K); err != nil {
+		return err
+	}
+	if len(r.Objects) == 0 {
+		return fmt.Errorf("no objects")
+	}
+	if len(r.Objects) > MaxCounterfactualObjects {
+		return fmt.Errorf("%d objects exceed the limit of %d", len(r.Objects), MaxCounterfactualObjects)
+	}
+	if r.Bonus != nil {
+		if len(r.Bonus) != dims {
+			return fmt.Errorf("bonus has %d dimensions, dataset has %d", len(r.Bonus), dims)
+		}
+		for j, b := range r.Bonus {
+			if math.IsNaN(b) || math.IsInf(b, 0) || b < 0 {
+				return fmt.Errorf("bonus dimension %d is %v, want finite and non-negative", j, b)
+			}
+		}
+	}
+	return nil
+}
+
+// objectKey identifies one (dataset, bonus, k, object) counterfactual in
+// the result cache; like sweep rows, counterfactuals are cached per object
+// so any earlier request that covered an object answers it.
+func (r CounterfactualRequest) objectKey(obj int) string {
+	b := make([]byte, 0, 64)
+	b = append(b, "cf|"...)
+	b = append(b, r.Dataset...)
+	b = append(b, '|')
+	b = appendBonusSig(b, r.Bonus)
+	b = append(b, '|')
+	b = strconv.AppendUint(b, math.Float64bits(r.K), 16)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(obj), 10)
+	return string(b)
+}
+
+// requestKey identifies a whole counterfactual request for coalescing.
+func (r CounterfactualRequest) requestKey() string {
+	b := make([]byte, 0, 64+8*len(r.Objects))
+	b = append(b, "cfreq|"...)
+	b = append(b, r.Dataset...)
+	b = append(b, '|')
+	b = appendBonusSig(b, r.Bonus)
+	b = append(b, '@')
+	b = strconv.AppendUint(b, math.Float64bits(r.K), 16)
+	for _, obj := range r.Objects {
+		b = append(b, '|')
+		b = strconv.AppendInt(b, int64(obj), 10)
+	}
+	return string(b)
+}
+
+// CounterfactualResult is one object's answer: its standing relative to
+// the published cutoff and the minimal deltas that flip it. Fields mirror
+// core.Counterfactual.
+type CounterfactualResult struct {
+	Object       int       `json:"object"`
+	Selected     bool      `json:"selected"`
+	Rank         int       `json:"rank"`
+	Effective    float64   `json:"effective"`
+	Cutoff       float64   `json:"cutoff"`
+	Competitor   int       `json:"competitor"`
+	ScoreDelta   float64   `json:"score_delta"`
+	BonusDelta   float64   `json:"bonus_delta"`
+	PerAttribute []float64 `json:"per_attribute"`
+	Feasible     bool      `json:"feasible"`
+}
+
+// CounterfactualResponse carries the per-object results in request order.
+type CounterfactualResponse struct {
+	Dataset   string                 `json:"dataset"`
+	K         float64                `json:"k"`
+	FairNames []string               `json:"fair_names"`
+	Results   []CounterfactualResult `json:"results"`
+	// CachedObjects reports how many objects were answered from the
+	// per-object cache; only the rest paid for the shared ranking.
+	CachedObjects int `json:"cached_objects"`
+}
+
+// reportKey identifies a built audit bundle in the result cache. The
+// rendering format is deliberately absent: the cache stores the bundle,
+// and each request renders its own format from it.
+func reportKey(dataset string, bonus []float64, k float64, margins int, fpr bool) string {
+	b := make([]byte, 0, 64)
+	b = append(b, "report|"...)
+	b = append(b, dataset...)
+	b = append(b, '|')
+	b = appendBonusSig(b, bonus)
+	b = append(b, '|')
+	b = strconv.AppendUint(b, math.Float64bits(k), 16)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(margins), 10)
+	b = append(b, '|')
+	if fpr {
+		b = append(b, '1')
+	} else {
+		b = append(b, '0')
+	}
+	return string(b)
+}
+
 // httpError carries a status code through the coalescing layer, so every
 // caller sharing a failed flight answers with the leader's status.
 type httpError struct {

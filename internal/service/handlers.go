@@ -13,6 +13,7 @@ import (
 	"fairrank/internal/core"
 	"fairrank/internal/metrics"
 	"fairrank/internal/rank"
+	"fairrank/internal/report"
 )
 
 // maxBodyBytes bounds a request body; the largest legitimate payload (a
@@ -376,6 +377,202 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCounterfactual(w http.ResponseWriter, r *http.Request) {
+	var req CounterfactualRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	e, ok := s.entryOr404(w, req.Dataset)
+	if !ok {
+		return
+	}
+	if err := req.validate(e.d.NumFair()); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	for i, obj := range req.Objects {
+		if obj < 0 || obj >= e.d.N() {
+			writeError(w, http.StatusBadRequest, "object %d (index %d) outside [0,%d)", obj, i, e.d.N())
+			return
+		}
+	}
+	// Coalesce concurrent identical requests; the leader probes the
+	// per-object cache and ranks only when objects are missing.
+	v, _, err := s.flights.Do(req.requestKey(), func() (any, error) {
+		return s.runCounterfactual(e, req)
+	})
+	if err != nil {
+		writeHTTPError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v.(CounterfactualResponse))
+}
+
+// runCounterfactual answers a counterfactual request from the per-object
+// cache plus one ranked batch over the missing objects. Like sweep rows,
+// each (dataset, bonus, k, object) answer is its own LRU entry, so any
+// earlier request that covered an object answers it regardless of how the
+// object lists were batched.
+func (s *Server) runCounterfactual(e *Entry, req CounterfactualRequest) (CounterfactualResponse, error) {
+	resp := CounterfactualResponse{
+		Dataset:   req.Dataset,
+		K:         req.K,
+		FairNames: e.d.FairNames(),
+		Results:   make([]CounterfactualResult, len(req.Objects)),
+	}
+	keys := make([]string, len(req.Objects))
+	var missing []int
+	for i, obj := range req.Objects {
+		keys[i] = req.objectKey(obj)
+		if v, ok := s.cache.get(keys[i]); ok {
+			resp.Results[i] = v.(CounterfactualResult)
+			continue
+		}
+		missing = append(missing, i)
+	}
+	resp.CachedObjects = len(req.Objects) - len(missing)
+
+	if len(missing) > 0 {
+		s.cfExecs.Add(1)
+		objs := make([]int, len(missing))
+		for r, i := range missing {
+			objs[r] = req.Objects[i]
+		}
+		cfs, err := e.eval.CounterfactualBatch(req.Bonus, req.K, objs)
+		if err != nil {
+			return CounterfactualResponse{}, &httpError{http.StatusBadRequest, err.Error()}
+		}
+		for r, i := range missing {
+			cf := cfs[r]
+			res := CounterfactualResult{
+				Object:     cf.Object,
+				Selected:   cf.Selected,
+				Rank:       cf.Rank,
+				Effective:  cf.Effective,
+				Cutoff:     cf.Cutoff,
+				Competitor: cf.Competitor,
+				ScoreDelta: cf.ScoreDelta,
+				BonusDelta: cf.BonusDelta,
+				// Copied: the batch carves every PerAttribute row from one
+				// backing array, and a cached row must not pin the whole
+				// batch's backing in the LRU.
+				PerAttribute: append([]float64(nil), cf.PerAttribute...),
+				Feasible:     cf.Feasible,
+			}
+			resp.Results[i] = res
+			s.cache.put(keys[i], res)
+		}
+	}
+	return resp, nil
+}
+
+// handleReport serves GET /v1/report: the versioned audit bundle for a
+// bonus policy, rendered as JSON (default), CSV, or Markdown. The built
+// bundle is cached independently of the rendering format and concurrent
+// identical cold requests are coalesced, mirroring train/evaluate.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	e, ok := s.entryOr404(w, q.Get("dataset"))
+	if !ok {
+		return
+	}
+	k, err := strconv.ParseFloat(q.Get("k"), 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad k %q: %v", q.Get("k"), err)
+		return
+	}
+	if q.Get("bonus") == "" {
+		writeError(w, http.StatusBadRequest, "missing bonus (comma-separated, one value per fairness attribute)")
+		return
+	}
+	bonus, err := parseBonusParam(q.Get("bonus"), e.d.NumFair())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	margins := 0
+	if raw := q.Get("margins"); raw != "" {
+		if margins, err = strconv.Atoi(raw); err != nil {
+			writeError(w, http.StatusBadRequest, "bad margins %q: %v", raw, err)
+			return
+		}
+		if margins > MaxReportMargins {
+			writeError(w, http.StatusBadRequest, "margins %d exceeds the limit of %d", margins, MaxReportMargins)
+			return
+		}
+	}
+	if margins == 0 {
+		// BuildBundle maps 0 to the default; normalize before keying so an
+		// absent param and an explicit default share one cache entry.
+		margins = report.DefaultMargins
+	}
+	// FPR differences default to "whenever the dataset can answer them";
+	// fpr=1 demands them (a 400 on an outcome-less dataset), fpr=0 omits.
+	includeFPR := e.d.HasOutcomes()
+	if raw := q.Get("fpr"); raw != "" {
+		switch raw {
+		case "0":
+			includeFPR = false
+		case "1":
+			includeFPR = true
+		default:
+			writeError(w, http.StatusBadRequest, "bad fpr %q (want 0 or 1)", raw)
+			return
+		}
+	}
+	format := q.Get("format")
+	if format == "" {
+		format = "json"
+	}
+	switch format {
+	case "json", "csv", "markdown", "md":
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q (want json, csv or markdown)", format)
+		return
+	}
+
+	key := reportKey(e.name, bonus, k, margins, includeFPR)
+	v, ok2 := s.cache.get(key)
+	if !ok2 {
+		v, _, err = s.flights.Do(key, func() (any, error) {
+			if v, ok := s.cache.get(key); ok {
+				return v, nil
+			}
+			s.reportExecs.Add(1)
+			b, err := report.BuildBundle(e.eval, report.BundleConfig{
+				Dataset:    e.name,
+				Bonus:      bonus,
+				K:          k,
+				Margins:    margins,
+				IncludeFPR: includeFPR,
+			})
+			if err != nil {
+				// Build rejections are request mistakes (bad fraction,
+				// zero policy, FPR without outcomes), not server faults.
+				return nil, &httpError{http.StatusBadRequest, err.Error()}
+			}
+			s.cache.put(key, b)
+			return b, nil
+		})
+		if err != nil {
+			writeHTTPError(w, err)
+			return
+		}
+	}
+	bundle := v.(*report.Bundle)
+	switch format {
+	case "json":
+		w.Header().Set("Content-Type", "application/json")
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	default:
+		w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
+	}
+	w.WriteHeader(http.StatusOK)
+	_ = bundle.Render(w, format) // status line already out
 }
 
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {

@@ -1,41 +1,3 @@
-// Package service implements fairrankd: an HTTP JSON layer that serves
-// what-if DCA training, evaluation sweeps, and transparency reports over a
-// registry of in-memory datasets.
-//
-// The paper's efficiency argument — sampled DCA is cheap enough for
-// interactive what-if iteration — is realized here as a request/response
-// loop: a policy maker posts an objective, a selection fraction, and a
-// granularity, and gets a bonus vector plus its measured effect back in
-// milliseconds. The layer mirrors the deployment framing of exposure-style
-// fair ranking services, where the fairness intervention must answer per
-// request, not per batch.
-//
-// Concurrency model:
-//
-//   - Each registered dataset owns one shared core.Evaluator (safe for
-//     concurrent use; its sweeps already fan over the engine worker pool)
-//     and a bounded pool of core.Trainers (a Trainer owns a workspace and
-//     is single-goroutine; the pool hands one to each in-flight train
-//     request, cloning the prototype — which shares the precomputed base
-//     scores — when the pool runs dry).
-//   - Train results are cached in an LRU keyed by the normalized request,
-//     so repeated what-if queries cost a map lookup. Training is
-//     deterministic given (dataset, objective, options, seed), which makes
-//     the cache exact, not heuristic.
-//   - Evaluate sweeps are cached per point: each (dataset, metric, bonus,
-//     k) row is its own LRU entry, so a cached sweep answers any subset of
-//     its k-grid and a widened grid only computes the new cuts — on one
-//     ranking, through the core prefix-sweep engine.
-//   - Concurrent identical cold requests (train and evaluate) are
-//     coalesced: one leader runs the pipeline, the rest share its result.
-//
-// Handlers:
-//
-//	POST /v1/train     what-if DCA run (objective, k, granularity, seed…)
-//	POST /v1/evaluate  disparity/nDCG/disparate-impact sweep over points
-//	GET  /v1/explain   transparency report for a bonus vector
-//	GET  /v1/datasets  registry listing
-//	GET  /healthz      liveness + registry size
 package service
 
 import (
@@ -77,10 +39,13 @@ type Server struct {
 	flights flightGroup
 
 	// Execution counters observed by tests: how many times the cold train
-	// pipeline and the cold sweep computation actually ran (coalesced and
-	// cached requests don't count).
-	trainExecs atomic.Int64
-	sweepExecs atomic.Int64
+	// pipeline, the cold sweep computation, the cold counterfactual batch,
+	// and the cold audit-bundle build actually ran (coalesced and cached
+	// requests don't count).
+	trainExecs  atomic.Int64
+	sweepExecs  atomic.Int64
+	cfExecs     atomic.Int64
+	reportExecs atomic.Int64
 }
 
 // New returns a Server with no datasets registered.
@@ -120,7 +85,9 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/train", s.handleTrain)
 	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
+	mux.HandleFunc("POST /v1/counterfactual", s.handleCounterfactual)
 	mux.HandleFunc("GET /v1/explain", s.handleExplain)
+	mux.HandleFunc("GET /v1/report", s.handleReport)
 	mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux

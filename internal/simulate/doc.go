@@ -1,0 +1,13 @@
+// Package simulate runs multi-year policy simulations over drifting
+// populations.
+//
+// The paper frames DCA's training data as "a sample drawn from an
+// underlying distribution": bonus points are set today to prevent
+// disparate outcomes in *future* decisions. This package makes that
+// operational: each simulated year draws a fresh cohort (optionally with
+// demographic or bias drift), a policy chooses the bonus vector to apply
+// (none, a static vector trained once, or annual retraining on the
+// previous cohort), and the year's selection disparity and utility are
+// recorded. The `ablation-drift` experiment uses it to show when the
+// paper's "can be quickly and easily adjusted to new data" matters.
+package simulate

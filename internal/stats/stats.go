@@ -1,14 +1,3 @@
-// Package stats is the statistics substrate for the reproduction.
-//
-// The paper's algorithm (DCA) rests on the Central Limit Theorem and the
-// Quantile Central Limit Theorem, its baselines need binomial and
-// multinomial CDFs (Multinomial FA*IR), and the synthetic data generators
-// need correlated normal draws and goodness-of-fit checks. Go's standard
-// library provides only math primitives (Erf, Lgamma), so this package
-// implements the rest from scratch: descriptive statistics, empirical
-// quantiles, the normal distribution with an inverse CDF, binomial and
-// multinomial distributions, Cholesky factorization, rank correlation, and
-// the two-sample Kolmogorov-Smirnov test.
 package stats
 
 import (

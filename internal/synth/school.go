@@ -1,14 +1,3 @@
-// Package synth generates the two evaluation datasets of the paper.
-//
-// The originals are not distributable: the NYC school records are
-// IRB-protected student data obtained through a NYC DOE data request, and
-// the ProPublica COMPAS extract is not bundled here. Both generators
-// therefore synthesize populations that reproduce the published joint
-// structure — the demographic marginals, the correlation between fairness
-// attributes and ranking scores, and (after calibration, verified in the
-// package tests) the uncorrected disparity vectors the paper reports — so
-// every experiment exercises the same code paths on the same statistical
-// shape. See DESIGN.md for the substitution rationale.
 package synth
 
 import (

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# checkdocs.sh — documentation consistency gate, run by the CI docs job.
+#
+# Fails when:
+#   1. a package under internal/ is missing from the README package map,
+#      or the README names an internal package that does not exist;
+#   2. a relative markdown link in README.md or docs/ARCHITECTURE.md
+#      points at a file that does not exist;
+#   3. an /v1 endpoint routed in internal/service/service.go is not
+#      documented in both README.md and docs/ARCHITECTURE.md;
+#   4. an internal package has no doc.go package comment.
+set -u
+cd "$(dirname "$0")/.."
+fail=0
+
+err() {
+    echo "checkdocs: $*" >&2
+    fail=1
+}
+
+# 1. README package map <-> ls internal/
+for dir in internal/*/; do
+    pkg=${dir%/}
+    grep -q "\`$pkg\`" README.md || err "README package map is missing $pkg"
+done
+# Every `internal/...` mention in the README must exist on disk.
+for pkg in $(grep -o '`internal/[a-z]*`' README.md | tr -d '\`' | sort -u); do
+    [ -d "$pkg" ] || err "README names $pkg, which does not exist"
+done
+
+# 2. Relative markdown links resolve (http links are skipped).
+check_links() {
+    local doc=$1 dir target
+    dir=$(dirname "$doc")
+    # Extract link targets from [text](target), strip #fragments.
+    grep -o '](\([^)]*\))' "$doc" | sed 's/^](//; s/)$//; s/#.*//' | while read -r target; do
+        [ -z "$target" ] && continue
+        case "$target" in
+        http://*|https://*) continue ;;
+        esac
+        [ -e "$dir/$target" ] || echo "$doc links to $target, which does not exist"
+    done
+}
+for doc in README.md docs/ARCHITECTURE.md; do
+    [ -f "$doc" ] || { err "$doc does not exist"; continue; }
+    broken=$(check_links "$doc")
+    if [ -n "$broken" ]; then
+        err "$broken"
+    fi
+done
+
+# 3. Every routed /v1 endpoint (and /healthz) is documented.
+for ep in $(grep -o '"\(GET\|POST\) /[^"]*"' internal/service/service.go | awk '{print $2}' | tr -d '"'); do
+    grep -q -- "$ep" README.md || err "endpoint $ep is not documented in README.md"
+    grep -q -- "$ep" docs/ARCHITECTURE.md || err "endpoint $ep is not documented in docs/ARCHITECTURE.md"
+done
+
+# 4. Every internal package carries a doc.go with a package comment.
+for dir in internal/*/; do
+    if [ ! -f "$dir/doc.go" ] || ! grep -q '^// Package' "$dir/doc.go"; then
+        err "$dir has no doc.go package comment"
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "checkdocs: ok"
