@@ -28,10 +28,13 @@
 // its selection (exact at float64 resolution, computed from one ranking).
 // With -report the complete versioned audit bundle — published cutoff,
 // policy with leave-one-out attribution, beneficiary lists, counterfactual
-// margins at the cutoff — is written to stdout as json, csv, or markdown:
+// margins at the cutoff — is written to stdout as json, csv, or markdown.
+// The bundle is computed by the rank-once BundleData pass (one ranking
+// plus one per compensated attribute); -margins widens the counterfactual
+// window on each side of the cutoff:
 //
 //	dca -in school.csv -k 0.05 -counterfactual 12,99,1044
-//	dca -in school.csv -k 0.05 -report md > audit.md
+//	dca -in school.csv -k 0.05 -report md -margins 10 > audit.md
 package main
 
 import (
@@ -63,6 +66,7 @@ func main() {
 		sweepSpec   = flag.String("sweep", "", "evaluate the trained vector over a k-grid and print CSV: comma-separated fractions or lo:hi:step")
 		cfSpec      = flag.String("counterfactual", "", "comma-separated object ids: print each object's minimal selection-flipping delta")
 		reportFmt   = flag.String("report", "", "write the full audit bundle to stdout: json, csv or md")
+		margins     = flag.Int("margins", 0, "counterfactual margin window on each side of the -report cutoff (0 = default)")
 	)
 	flag.Parse()
 
@@ -101,6 +105,12 @@ func main() {
 	case "", "json", "csv", "md", "markdown":
 	default:
 		usage(fmt.Sprintf("-report must be json, csv or md, got %q", *reportFmt))
+	}
+	if *margins < 0 {
+		usage(fmt.Sprintf("-margins must be non-negative, got %d", *margins))
+	}
+	if *margins != 0 && *reportFmt == "" {
+		usage("-margins only applies to the -report audit bundle")
 	}
 	// -report replaces stdout with the bundle; combining it with the other
 	// output modes would silently drop them, so reject the combination.
@@ -148,6 +158,7 @@ func main() {
 			Dataset:    *in,
 			Bonus:      res.Bonus,
 			K:          *k,
+			Margins:    *margins,
 			IncludeFPR: d.HasOutcomes(),
 		})
 		if err != nil {

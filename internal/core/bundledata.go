@@ -1,0 +1,309 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fairrank/internal/engine"
+	"fairrank/internal/metrics"
+	"fairrank/internal/rank"
+)
+
+// BundleData pass. Because bonus points enter the effective score
+// additively (Definition 2), every fixed-(bonus, k) audit quantity — the
+// published cutoff, per-group selection counts, disparity norms, nDCG,
+// FPR differences, the beneficiary and displaced sets, and the
+// counterfactual margin window — is a deterministic function of one
+// ranked order per score vector. BundleStats therefore ranks the
+// compensated order once, reuses the cached uncompensated order for the
+// base side, folds the leave-one-attribute-out attribution's extra
+// vectors into the same fan-out, and answers everything else from prefix
+// aggregates of those shared orders (metrics.PrefixCentroid /
+// PrefixGroupCounts / PrefixFPCounts / PrefixDCG): a cold audit bundle
+// costs at most dims+1 ranking passes instead of the ~dims+5 the
+// one-metric-at-a-time evaluators pay, and — since only the leading
+// cnt+margins positions of each order are ever read — each pass is a
+// bounded-heap prefix selection (O(n log p)), not a full sort.
+//
+// Results are bit-identical to the independent pointwise evaluators
+// (Explain, AttributeDisparity, NDCG, FPRDiff, CounterfactualWindow):
+// the prefix aggregates resume the same left-to-right folds, the prefix
+// selection reproduces the full sort's leading segment exactly (the
+// comparator is a total order), and the scalar finishers share their
+// formulas with the pointwise implementations. See
+// TestBundleStatsDifferential and TestBundleStatsProperty.
+
+// BundleStatsConfig parameterizes one BundleStats pass.
+type BundleStatsConfig struct {
+	// Bonus is the audited bonus vector; nil or all-zero audits the
+	// uncompensated ranking (the compensated side degenerates to the base
+	// order and the attribution is flat).
+	Bonus []float64
+	// K is the audited selection fraction, in (0, 1].
+	K float64
+	// Margins is how many objects on each side of the cutoff receive
+	// counterfactual margin lines (0 = none); the window is clamped to
+	// the population.
+	Margins int
+	// IncludeFPR adds the per-group false-positive-rate differences; the
+	// dataset must carry ground-truth outcomes.
+	IncludeFPR bool
+}
+
+// BundleStats is every fixed-(bonus, k) audit quantity of one bonus
+// policy, computed from shared ranked orders by Evaluator.BundleStats.
+// It is the data layer of report.BuildBundle; the service layer also
+// reuses its Margins to answer per-object counterfactual requests.
+type BundleStats struct {
+	// K is the audited selection fraction; Selected the resulting count.
+	K        float64
+	Selected int
+
+	// Cutoff is the effective score of the last selected object under the
+	// policy; BaseCutoff the same for the uncompensated ranking.
+	Cutoff     float64
+	BaseCutoff float64
+
+	// FairNames are the fairness attribute names; Bonus the audited vector
+	// (copied), aligned with every per-dimension slice below.
+	FairNames []string
+	Bonus     []float64
+
+	// GroupCounts[j] counts selected members of binary fairness attribute
+	// j (value > 0.5) under the policy; BaseGroupCounts is the same for
+	// the uncompensated selection.
+	GroupCounts     []int
+	BaseGroupCounts []int
+
+	// AdmittedByBonus lists objects selected under the policy but not in
+	// the uncompensated selection, ascending; DisplacedByBonus the
+	// reverse.
+	AdmittedByBonus  []int
+	DisplacedByBonus []int
+
+	// NormBefore/NormAfter are the disparity norms without and with the
+	// policy; Reduction their difference. LeaveOneOut[j] is the norm with
+	// attribute j's bonus withdrawn and Contribution[j] how much worse
+	// that is than NormAfter — the leave-one-attribute-out attribution.
+	NormBefore   float64
+	NormAfter    float64
+	Reduction    float64
+	LeaveOneOut  []float64
+	Contribution []float64
+
+	// NDCG is the utility retained relative to the uncompensated ranking.
+	NDCG float64
+
+	// FPRDiff carries the per-group false-positive-rate differences under
+	// the policy when the config asked for them; nil otherwise.
+	FPRDiff []float64
+
+	// Margins are exact counterfactuals for the boundary window — the
+	// Margins last selected and Margins first excluded objects, in rank
+	// order.
+	Margins []Counterfactual
+}
+
+// BundleStats computes every audit-bundle quantity for a bonus vector at
+// selection fraction k in one shared-order pass: the compensated prefix,
+// the cached base order, and one leave-one-out prefix per attribute with
+// a non-zero bonus, fanned over the engine worker pool. See the package
+// comment above for the cost model and the bit-identity contract.
+func (e *Evaluator) BundleStats(cfg BundleStatsConfig) (*BundleStats, error) {
+	if err := e.checkBonusDims(cfg.Bonus); err != nil {
+		return nil, err
+	}
+	n := e.d.N()
+	if n == 0 {
+		return nil, fmt.Errorf("core: cannot audit an empty dataset")
+	}
+	if cfg.Margins < 0 {
+		return nil, fmt.Errorf("core: margin window %d is negative", cfg.Margins)
+	}
+	if cfg.IncludeFPR && !e.d.HasOutcomes() {
+		return nil, fmt.Errorf("core: FPR evaluation requires outcomes")
+	}
+	cnt, err := rank.SelectCount(n, cfg.K)
+	if err != nil {
+		return nil, err
+	}
+	// The nDCG cut resolves through the metric package's own fraction
+	// arithmetic, exactly as the pointwise NDCG does. (Both round
+	// half-up and clamp to [1, n], so the cuts coincide; going through
+	// metrics.PrefixCount keeps that an implementation detail of the
+	// metric, not an assumption of this pass.)
+	ndcgCut, err := metrics.PrefixCount(n, cfg.K)
+	if err != nil {
+		return nil, err
+	}
+	dims := e.d.NumFair()
+
+	// The Bonus copy is always dims long (a nil config bonus means the
+	// zero vector), so every per-dimension slice in the result is
+	// aligned — consumers like report.FromStats index them in lockstep.
+	bonus := make([]float64, dims)
+	copy(bonus, cfg.Bonus)
+	st := &BundleStats{
+		K:               cfg.K,
+		Selected:        cnt,
+		FairNames:       e.d.FairNames(),
+		Bonus:           bonus,
+		GroupCounts:     make([]int, dims),
+		BaseGroupCounts: make([]int, dims),
+		LeaveOneOut:     make([]float64, dims),
+		Contribution:    make([]float64, dims),
+	}
+
+	// Leave-one-out jobs: one ranking per attribute whose bonus is
+	// non-zero. An attribute already at zero leaves the vector unchanged,
+	// so its leave-one-out norm IS the full policy's norm — no ranking.
+	var looJobs []int
+	for j, b := range cfg.Bonus {
+		if b != 0 {
+			looJobs = append(looJobs, j)
+		}
+	}
+	looBacking := make([]float64, len(looJobs)*dims)
+	looVecs := make([][]float64, len(looJobs))
+	for r, j := range looJobs {
+		vec := looBacking[r*dims : (r+1)*dims]
+		copy(vec, cfg.Bonus)
+		vec[j] = 0
+		looVecs[r] = vec
+	}
+
+	// cuts is shared read-only by every prefix aggregation below.
+	cuts := []int{cnt}
+	ndcgCuts := []int{ndcgCut}
+	var fullErr error
+
+	// Task 0 answers everything addressed by the compensated order; task
+	// 1 the base-order side; tasks 2.. one leave-one-out norm each. On a
+	// multicore box the distinct rankings overlap; on one core the fan-out
+	// degenerates to a loop over one pooled workspace.
+	e.parallel(2+len(looJobs), func(ws *engine.Workspace, i int) {
+		switch i {
+		case 0:
+			fullErr = e.bundleFullPass(ws, cfg, st, cnt, cuts, ndcgCuts)
+		case 1:
+			st.BaseCutoff = e.base[e.origOrd[cnt-1]]
+			copy(st.BaseGroupCounts, metrics.PrefixGroupCountsInto(e.d, e.origOrd, cuts, ws.Cnts(dims)))
+			cent := metrics.PrefixCentroidInto(e.d, e.origOrd, cuts, ws.Pop(), ws.Agg(dims))
+			st.NormBefore = normAgainst(cent, e.centroid)
+		default:
+			r := i - 2
+			order := e.rankedPrefixWS(ws, looVecs[r], cnt)
+			cent := metrics.PrefixCentroidInto(e.d, order, cuts, ws.Pop(), ws.Agg(dims))
+			st.LeaveOneOut[looJobs[r]] = normAgainst(cent, e.centroid)
+		}
+	})
+	if fullErr != nil {
+		return nil, fullErr
+	}
+
+	st.Reduction = st.NormBefore - st.NormAfter
+	for j := 0; j < dims; j++ {
+		if len(cfg.Bonus) == 0 || cfg.Bonus[j] == 0 {
+			st.LeaveOneOut[j] = st.NormAfter
+		}
+		st.Contribution[j] = st.LeaveOneOut[j] - st.NormAfter
+	}
+	return st, nil
+}
+
+// bundleFullPass computes every quantity addressed by the compensated
+// order from one ranked prefix: cutoff, group counts, disparity norm,
+// nDCG, FPR differences, the beneficiary/displaced sets, and the
+// counterfactual margin window. Only it can fail (zero ideal DCG).
+func (e *Evaluator) bundleFullPass(ws *engine.Workspace, cfg BundleStatsConfig, st *BundleStats, cnt int, cuts, ndcgCuts []int) error {
+	n := e.d.N()
+	dims := e.d.NumFair()
+	p := cnt + cfg.Margins
+	if p > n {
+		p = n
+	}
+	order := e.rankedPrefixWS(ws, cfg.Bonus, p)
+	eff := e.base
+	if !isZero(cfg.Bonus) {
+		eff = ws.Eff(n) // filled by rankedPrefixWS
+	}
+	st.Cutoff = eff[order[cnt-1]]
+
+	copy(st.GroupCounts, metrics.PrefixGroupCountsInto(e.d, order, cuts, ws.Cnts(dims)))
+
+	cent := metrics.PrefixCentroidInto(e.d, order, cuts, ws.Pop(), ws.Agg(dims))
+	st.NormAfter = normAgainst(cent, e.centroid)
+
+	// nDCG from prefix DCG sums over the compensated and original orders;
+	// the centroid row above has been consumed, so the aggregate scratch
+	// can be re-carved.
+	agg := ws.Agg(2)
+	corrected := metrics.PrefixDCGInto(e.base, order, ndcgCuts, agg[:1])
+	ideal := metrics.PrefixDCGInto(e.base, e.origOrd, ndcgCuts, agg[1:])
+	if ideal[0] == 0 {
+		return metrics.ErrZeroIdealDCG
+	}
+	st.NDCG = corrected[0] / ideal[0]
+
+	if cfg.IncludeFPR {
+		cnts := ws.Cnts(dims + 1)
+		rows, all := cnts[:dims], cnts[dims:]
+		metrics.PrefixFPCountsInto(e.d, order, cuts, rows, all)
+		st.FPRDiff = make([]float64, dims)
+		if e.negAll != 0 {
+			overall := float64(all[0]) / float64(e.negAll)
+			for j := range st.FPRDiff {
+				if e.negTot[j] == 0 {
+					continue
+				}
+				st.FPRDiff[j] = float64(rows[j])/float64(e.negTot[j]) - overall
+			}
+		}
+	}
+
+	// Beneficiary sets: symmetric difference of the two selections via
+	// the membership-mark buffer (reset to all-false on every path).
+	marks := ws.Marks(n)
+	for _, o := range e.origOrd[:cnt] {
+		marks[o] = true
+	}
+	for _, o := range order[:cnt] {
+		if marks[o] {
+			marks[o] = false
+		} else {
+			st.AdmittedByBonus = append(st.AdmittedByBonus, o)
+		}
+	}
+	for _, o := range e.origOrd[:cnt] {
+		if marks[o] {
+			st.DisplacedByBonus = append(st.DisplacedByBonus, o)
+			marks[o] = false
+		}
+	}
+	sort.Ints(st.AdmittedByBonus)
+	sort.Ints(st.DisplacedByBonus)
+
+	if cfg.Margins > 0 {
+		lo := cnt - cfg.Margins
+		if lo < 0 {
+			lo = 0
+		}
+		st.Margins = e.counterfactualsWS(ws, order, cfg.Bonus, cnt, order[lo:p])
+	}
+	return nil
+}
+
+// normAgainst returns the L2 norm of (cent - ref), the disparity norm of
+// a selection centroid against the population centroid. The fold —
+// ascending dimension, square-accumulate, one final sqrt — is exactly
+// metrics.Norm over the subtracted vector, so the value is bit-identical
+// to the pointwise Disparity+Norm path.
+func normAgainst(cent, ref []float64) float64 {
+	var s float64
+	for j := range cent {
+		x := cent[j] - ref[j]
+		s += x * x
+	}
+	return math.Sqrt(s)
+}

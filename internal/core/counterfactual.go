@@ -163,19 +163,25 @@ func (e *Evaluator) CounterfactualWindow(bonus []float64, k float64, m int) ([]C
 	}
 	ws := e.ws()
 	defer e.put(ws)
-	order := e.orderWS(ws, bonus)
+	// Only the leading hi positions are ever read (window ids, ranks, and
+	// boundary competitors all live there), so a ranked prefix suffices —
+	// it is bit-identical to the full order's leading segment.
+	order := e.rankedPrefixWS(ws, bonus, hi)
 	return e.counterfactualsWS(ws, order, bonus, cnt, order[lo:hi]), nil
 }
 
 // counterfactualsWS answers every listed object against the ranked order,
-// which must have been produced by orderWS on the same workspace. objs may
-// alias order (CounterfactualWindow passes a slice of it); the inverse
-// permutation is built before any result is written, and nothing below
-// mutates either buffer.
+// which must have been produced by orderWS or rankedPrefixWS on the same
+// workspace; a prefix order is sufficient as long as it covers every
+// listed object and the boundary competitors (positions cnt-1 and, when
+// cnt < n, cnt). objs may alias order (CounterfactualWindow passes a
+// slice of it); the inverse permutation is built before any result is
+// written, and nothing below mutates either buffer.
 func (e *Evaluator) counterfactualsWS(ws *engine.Workspace, order []int, bonus []float64, cnt int, objs []int) []Counterfactual {
 	n := e.d.N()
-	// orderWS fills the workspace effective-score buffer only for a
-	// non-zero bonus; the zero vector ranks by the cached base scores.
+	// orderWS/rankedPrefixWS fill the workspace effective-score buffer
+	// only for a non-zero bonus; the zero vector ranks by the cached base
+	// scores.
 	eff := e.base
 	if !isZero(bonus) {
 		eff = ws.Eff(n)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"fairrank/internal/dataset"
 	"fairrank/internal/engine"
@@ -34,6 +35,12 @@ type Evaluator struct {
 	groupTot []int
 	negTot   []int
 	negAll   int
+
+	// rankings counts the full-population ranking passes the evaluator has
+	// performed (score evaluation + ordering; the cached uncompensated
+	// order is free and never counted). This is the engine's ranking-count
+	// hook: the rank-once tests pin their ranking budgets on deltas of it.
+	rankings atomic.Int64
 }
 
 // NewEvaluator builds an evaluator for the dataset under the given ranking
@@ -87,6 +94,12 @@ func (e *Evaluator) BaseScores() []float64 { return e.base }
 func (e *Evaluator) ws() *engine.Workspace   { return e.pool.Get().(*engine.Workspace) }
 func (e *Evaluator) put(w *engine.Workspace) { e.pool.Put(w) }
 
+// RankingCount reports how many full-population ranking passes the
+// evaluator has performed so far. Tests assert rank-once invariants by
+// taking the difference across a call ("a cold bundle costs at most
+// dims+2 rankings"); it is safe to read concurrently.
+func (e *Evaluator) RankingCount() int64 { return e.rankings.Load() }
+
 // orderWS returns the full ranking under bonus using workspace buffers;
 // the result aliases ws (or the cached original order) and must not be
 // retained past the workspace.
@@ -97,7 +110,32 @@ func (e *Evaluator) orderWS(ws *engine.Workspace, bonus []float64) []int {
 	// EffectiveScores over the cached identity indices takes the unrolled
 	// low-dimension dot-product fast path.
 	eff := rank.EffectiveScores(e.d, e.base, e.all, bonus, e.pol, ws.Eff(e.d.N()))
+	e.rankings.Add(1)
 	return rank.OrderInto(eff, ws.Ord(e.d.N()))
+}
+
+// rankedPrefixWS returns the first p positions of the full ranking under
+// bonus (descending effective score, ties by ascending index) using
+// workspace buffers; like orderWS, the result aliases ws (or the cached
+// original order) and must not be retained past the workspace. When p is
+// well below the population size, the prefix comes from a bounded-heap
+// selection followed by a sort of just those p indices — O(n log p)
+// instead of O(n log n) — and because the ranking comparator is a total
+// order, the result is bit-identical to orderWS(ws, bonus)[:p].
+func (e *Evaluator) rankedPrefixWS(ws *engine.Workspace, bonus []float64, p int) []int {
+	n := e.d.N()
+	if isZero(bonus) {
+		return e.origOrd[:p]
+	}
+	if p >= n/2 {
+		// Selecting most of the population saves nothing over sorting it.
+		return e.orderWS(ws, bonus)[:p]
+	}
+	eff := rank.EffectiveScores(e.d, e.base, e.all, bonus, e.pol, ws.Eff(n))
+	e.rankings.Add(1)
+	pre := rank.TopKHeapInto(eff, p, ws.Ord(p))
+	rank.SortRanked(eff, pre)
+	return pre
 }
 
 // selectWS returns the top-k prefix under bonus; same aliasing rules as
@@ -120,6 +158,7 @@ func (e *Evaluator) Order(bonus []float64) []int {
 	ws := e.ws()
 	defer e.put(ws)
 	eff := rank.EffectiveScores(e.d, e.base, e.all, bonus, e.pol, ws.Eff(e.d.N()))
+	e.rankings.Add(1)
 	return rank.OrderInto(eff, make([]int, e.d.N()))
 }
 

@@ -1,0 +1,9 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector is active. Allocation
+// pins skip under it: the race runtime deliberately drops sync.Pool
+// items to shake out reuse races, so pooled-workspace paths show
+// spurious allocations there.
+const raceEnabled = false

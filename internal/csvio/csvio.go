@@ -2,6 +2,7 @@ package csvio
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -16,6 +17,33 @@ const (
 	fairPrefix    = "fair:"
 	outcomeColumn = "outcome"
 )
+
+// Error locates a rejected input: the 1-based physical line of the
+// input the problem was detected on (blank lines and quoted newlines
+// count, matching what an editor shows) and, when the rejection is tied
+// to one column, that column's header name. Every error Read returns is
+// an *Error, so callers — and the FuzzCSVRead harness — can rely on
+// position information being present rather than parsing it back out of
+// the message.
+type Error struct {
+	Line   int    // 1-based physical input line
+	Column string // offending column header; "" when the whole line or file is at fault
+	msg    string // preformatted message, including the position
+	err    error  // underlying cause, when any (e.g. a csv.ParseError)
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return e.msg }
+
+// Unwrap exposes the underlying cause for errors.Is/As.
+func (e *Error) Unwrap() error { return e.err }
+
+// errAt builds a positioned Error. wrapped is the underlying cause kept
+// for Unwrap (may be nil); the message must already carry whatever
+// position detail the caller wants shown.
+func errAt(line int, column string, wrapped error, format string, args ...any) *Error {
+	return &Error{Line: line, Column: column, err: wrapped, msg: fmt.Sprintf(format, args...)}
+}
 
 // Write serializes d as CSV.
 func Write(w io.Writer, d *dataset.Dataset) error {
@@ -66,8 +94,11 @@ func Read(r io.Reader) (*dataset.Dataset, error) {
 	cr.ReuseRecord = true
 	rec, err := cr.Read()
 	if err != nil {
-		return nil, fmt.Errorf("csvio: reading header: %w", err)
+		return nil, errAt(physLine(err, 1), "", err, "csvio: reading header: %v", err)
 	}
+	// FieldPos reports physical input positions, so error lines survive
+	// blank lines and quoted newlines; the header need not sit on line 1.
+	headerLine, _ := cr.FieldPos(0)
 	// ReuseRecord means every later Read overwrites this slice; copy the
 	// header so error messages can still name the offending column.
 	header := make([]string, len(rec))
@@ -80,7 +111,7 @@ func Read(r io.Reader) (*dataset.Dataset, error) {
 		switch {
 		case strings.HasPrefix(h, scorePrefix), strings.HasPrefix(h, fairPrefix):
 			if seen[h] {
-				return nil, fmt.Errorf("csvio: duplicate column %q", h)
+				return nil, errAt(headerLine, h, nil, "csvio: duplicate column %q", h)
 			}
 			seen[h] = true
 			if strings.HasPrefix(h, scorePrefix) {
@@ -92,29 +123,30 @@ func Read(r io.Reader) (*dataset.Dataset, error) {
 			}
 		case h == outcomeColumn:
 			if outcomeCol != -1 {
-				return nil, fmt.Errorf("csvio: duplicate outcome column")
+				return nil, errAt(headerLine, outcomeColumn, nil, "csvio: duplicate outcome column")
 			}
 			outcomeCol = c
 		default:
-			return nil, fmt.Errorf("csvio: column %q lacks a score:/fair:/outcome prefix", h)
+			return nil, errAt(headerLine, h, nil, "csvio: column %q lacks a score:/fair:/outcome prefix", h)
 		}
 	}
 	if len(scoreCols) == 0 && len(fairCols) == 0 {
-		return nil, fmt.Errorf("csvio: no recognized columns in header")
+		return nil, errAt(headerLine, "", nil, "csvio: no recognized columns in header")
 	}
 	b := dataset.NewBuilder(scoreNames, fairNames)
 	scoreRow := make([]float64, len(scoreCols))
 	fairRow := make([]float64, len(fairCols))
-	line := 1
+	line := headerLine
 	for {
 		rec, err := cr.Read()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("csvio: reading line %d: %w", line+1, err)
+			l := physLine(err, line+1)
+			return nil, errAt(l, "", err, "csvio: reading line %d: %v", l, err)
 		}
-		line++
+		line, _ = cr.FieldPos(0)
 		for j, c := range scoreCols {
 			v, err := parseFinite(rec[c], line, header[c])
 			if err != nil {
@@ -128,7 +160,7 @@ func Read(r io.Reader) (*dataset.Dataset, error) {
 				return nil, err
 			}
 			if v < 0 || v > 1 {
-				return nil, fmt.Errorf("csvio: line %d column %q: value %v outside [0,1]", line, header[c], v)
+				return nil, errAt(line, header[c], nil, "csvio: line %d column %q: value %v outside [0,1]", line, header[c], v)
 			}
 			fairRow[j] = v
 		}
@@ -139,13 +171,31 @@ func Read(r io.Reader) (*dataset.Dataset, error) {
 			case "0", "false":
 				b.AddWithOutcome(scoreRow, fairRow, false)
 			default:
-				return nil, fmt.Errorf("csvio: line %d: outcome %q not 0/1", line, rec[outcomeCol])
+				return nil, errAt(line, outcomeColumn, nil, "csvio: line %d: outcome %q not 0/1", line, rec[outcomeCol])
 			}
 		} else {
 			b.Add(scoreRow, fairRow)
 		}
 	}
-	return b.Build()
+	d, err := b.Build()
+	if err != nil {
+		// Builder rejections cannot name an input position more precise
+		// than "somewhere in the rows we fed it"; pin them to the last
+		// line read so the error still locates the input region.
+		return nil, errAt(line, "", err, "csvio: line %d: %v", line, err)
+	}
+	return d, nil
+}
+
+// physLine extracts the physical input line from a csv.ParseError;
+// errors that carry no position (a failing underlying reader, a bare
+// io.ErrUnexpectedEOF) fall back to the caller's best estimate.
+func physLine(err error, fallback int) int {
+	var pe *csv.ParseError
+	if errors.As(err, &pe) && pe.Line > 0 {
+		return pe.Line
+	}
+	return fallback
 }
 
 // parseFinite parses a float cell, rejecting NaN and ±Inf: strconv accepts
@@ -154,10 +204,10 @@ func Read(r io.Reader) (*dataset.Dataset, error) {
 func parseFinite(cell string, line int, column string) (float64, error) {
 	v, err := strconv.ParseFloat(cell, 64)
 	if err != nil {
-		return 0, fmt.Errorf("csvio: line %d column %q: %w", line, column, err)
+		return 0, errAt(line, column, err, "csvio: line %d column %q: %v", line, column, err)
 	}
 	if math.IsNaN(v) || math.IsInf(v, 0) {
-		return 0, fmt.Errorf("csvio: line %d column %q: non-finite value %q", line, column, cell)
+		return 0, errAt(line, column, nil, "csvio: line %d column %q: non-finite value %q", line, column, cell)
 	}
 	return v, nil
 }

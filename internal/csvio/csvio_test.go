@@ -2,6 +2,7 @@ package csvio
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -189,5 +190,41 @@ func TestWriteEmptyDataset(t *testing.T) {
 	}
 	if got := strings.TrimSpace(buf.String()); got != "score:s,fair:f" {
 		t.Errorf("header = %q", got)
+	}
+}
+
+// TestErrorPositionsArePhysicalLines: the structured *Error must name
+// the physical input line (what an editor shows), surviving blank lines
+// and quoted newlines — not the record ordinal encoding/csv hands out.
+func TestErrorPositionsArePhysicalLines(t *testing.T) {
+	cases := []struct {
+		name   string
+		csv    string
+		line   int
+		column string
+	}{
+		{"plain", "score:a,fair:b\nxyz,0\n", 2, "score:a"},
+		{"blank lines before the bad row", "score:a,fair:b\n\n\nxyz,0\n", 4, "score:a"},
+		{"blank line before the header", "\nscore:a,banana\n1,2\n", 2, "banana"},
+		{"duplicate column after blank line", "\nscore:a,score:a\n1,2\n", 2, "score:a"},
+		{"quoted field after blank line", "score:a,fair:b\n\n\"1\n\",0\n", 3, "score:a"},
+		{"parse error names its own line", "score:a,fair:b\n1,0\n\n\n\"x\n", 5, ""},
+		{"out of range with blanks", "score:a,fair:b\n\n1,2\n", 3, "fair:b"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Read(strings.NewReader(tc.csv))
+			if err == nil {
+				t.Fatalf("expected error for %q", tc.csv)
+			}
+			var pe *Error
+			if !errors.As(err, &pe) {
+				t.Fatalf("error is not a *csvio.Error: %T %v", err, err)
+			}
+			if pe.Line != tc.line || pe.Column != tc.column {
+				t.Errorf("position = line %d column %q, want line %d column %q (err: %v)",
+					pe.Line, pe.Column, tc.line, tc.column, err)
+			}
+		})
 	}
 }

@@ -2,28 +2,61 @@ package csvio
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
 
-// FuzzRead checks that arbitrary CSV input never panics the reader and
-// that everything it accepts survives a write/read round trip.
-func FuzzRead(f *testing.F) {
-	f.Add("score:a,fair:b\n1,0\n2,1\n")
-	f.Add("score:a,fair:b,outcome\n1,0,1\n")
-	f.Add("fair:x\n0.5\n")
-	f.Add("score:a\n-3.25\n")
-	f.Add("score:a,fair:b\n1\n")       // short record
-	f.Add("score:a,banana\n1,2\n")     // unknown column
-	f.Add("score:a,fair:b\nNaN,0.5\n") // non-finite score
-	f.Add("score:a,fair:b\n-Inf,1\n")  // non-finite score
-	f.Add("score:a,fair:b\n0,Inf\n")   // non-finite fairness value
-	f.Add("score:a,score:a\n1,2\n")    // duplicate column
-	f.Add("")
+// FuzzCSVRead checks three invariants over arbitrary CSV input: Read
+// never panics; every rejection is a positioned *Error carrying the
+// 1-based input line (and the offending column when one is at fault);
+// and everything Read accepts survives a Write/Read round trip
+// unchanged. The seed corpus is the error-path fixture set of
+// TestReadRejectsMalformedInputs plus well-formed inputs, so the fuzzer
+// starts on both sides of every validation branch. CI runs a 20s fuzz
+// smoke (`go test -fuzz=FuzzCSVRead -fuzztime=20s ./internal/csvio`).
+func FuzzCSVRead(f *testing.F) {
+	seeds := []string{
+		// Well-formed shapes.
+		"score:a,fair:b\n1,0\n2,1\n",
+		"score:a,fair:b,outcome\n1,0,1\n",
+		"fair:x\n0.5\n",
+		"score:a\n-3.25\n",
+		"score:a,fair:b\n", // header only
+		// Error-path fixtures (mirrors TestReadRejectsMalformedInputs).
+		"score:a,banana\n1,2\n",               // unknown column
+		"score:a,fair:b\nxyz,0\n",             // bad float
+		"score:a,fair:b\n1,2\n",               // fairness out of range
+		"score:a,fair:b,outcome\n1,0,maybe\n", // bad outcome
+		"score:a,outcome,outcome\n1,0,1\n",    // duplicate outcome
+		"score:a,score:a,fair:b\n1,2,0\n",     // duplicate score column
+		"score:a,fair:b,fair:b\n1,0,1\n",      // duplicate fair column
+		"\n",                                  // no columns
+		"",                                    // empty input
+		"score:a,fair:b\n1,0\n1\n",            // short row
+		"score:a,fair:b\n1,0,9\n",             // long row
+		"score:a,fair:b\nNaN,0.5\n",           // non-finite score
+		"score:a,fair:b\n-Inf,1\n",            // non-finite score
+		"score:a,fair:b\n0,Inf\n",             // non-finite fairness value
+		"score:a,fair:b\n1,0\n2,nan\n",        // non-finite on a later line
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
 	f.Fuzz(func(t *testing.T, input string) {
 		d, err := Read(strings.NewReader(input))
 		if err != nil {
-			return // rejected input is fine; panics are not
+			var pe *Error
+			if !errors.As(err, &pe) {
+				t.Fatalf("rejection is not a positioned *csvio.Error: %T %v", err, err)
+			}
+			if pe.Line < 1 {
+				t.Fatalf("rejection without a line position: %+v", pe)
+			}
+			if !strings.Contains(err.Error(), "csvio:") {
+				t.Fatalf("rejection without package context: %v", err)
+			}
+			return // rejected input is fine; panics and unpositioned errors are not
 		}
 		var buf bytes.Buffer
 		if err := Write(&buf, d); err != nil {

@@ -200,6 +200,18 @@ func OrderInto(scores []float64, idx []int) []int {
 	for i := range idx {
 		idx[i] = i
 	}
+	SortRanked(scores, idx)
+	return idx
+}
+
+// SortRanked sorts idx in place into descending ranked order under the
+// exact comparator of Order/OrderInto (higher score first, ties broken by
+// lower index). Because that comparator is a total order, sorting any
+// subset of a population's indices reproduces the relative order those
+// indices hold in the full ranking — which is what lets a top-k selection
+// (e.g. from TopKHeapInto) be turned into the ranking's leading prefix
+// without sorting the whole population.
+func SortRanked(scores []float64, idx []int) {
 	slices.SortFunc(idx, func(a, b int) int {
 		if a == b {
 			return 0
@@ -209,7 +221,6 @@ func OrderInto(scores []float64, idx []int) []int {
 		}
 		return 1
 	})
-	return idx
 }
 
 // TopK returns the indices of the k highest-scoring items in ranked order

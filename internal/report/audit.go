@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 
 	"fairrank/internal/core"
 	"fairrank/internal/rank"
@@ -129,11 +130,25 @@ type Bundle struct {
 // BuildBundle assembles the audit bundle for a bonus policy at fraction k
 // from one evaluator: the transparency report (cutoff, counts,
 // beneficiaries), the leave-one-out attribution, nDCG, and counterfactual
-// margins for the boundary window. Validation happens before any
-// computation: an empty dataset, a missing or all-zero bonus policy, a
-// dimensionality mismatch, a bad fraction, negative margins, and an FPR
-// request without outcomes are all rejected.
+// margins for the boundary window. It is BuildBundleStats (one shared
+// rank-once BundleData pass) followed by FromStats (presentation).
 func BuildBundle(ev *core.Evaluator, cfg BundleConfig) (*Bundle, error) {
+	st, err := BuildBundleStats(ev, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return FromStats(ev, cfg.Dataset, st), nil
+}
+
+// BuildBundleStats validates an audit request and runs the rank-once
+// BundleData pass behind BuildBundle, returning the raw quantities.
+// Callers that need more than the rendered bundle — the service reuses
+// the margin counterfactuals to seed its per-object cache — build the
+// stats once and derive both views from them. Validation happens before
+// any computation: an empty dataset, a missing or all-zero bonus policy,
+// a dimensionality mismatch, a bad fraction, negative margins, and an FPR
+// request without outcomes are all rejected.
+func BuildBundleStats(ev *core.Evaluator, cfg BundleConfig) (*core.BundleStats, error) {
 	d := ev.Dataset()
 	if d.N() == 0 {
 		return nil, fmt.Errorf("report: cannot audit an empty dataset")
@@ -167,69 +182,51 @@ func BuildBundle(ev *core.Evaluator, cfg BundleConfig) (*Bundle, error) {
 	if margins == 0 {
 		margins = DefaultMargins
 	}
-
-	exp, err := ev.Explain(cfg.Bonus, cfg.K)
-	if err != nil {
-		return nil, err
-	}
-	att, err := ev.AttributeDisparity(cfg.Bonus, cfg.K)
-	if err != nil {
-		return nil, err
-	}
-	ndcg, err := ev.NDCG(cfg.Bonus, cfg.K)
-	if err != nil {
-		return nil, err
-	}
-
-	b := &Bundle{
-		Version:    BundleVersion,
-		Dataset:    cfg.Dataset,
-		N:          d.N(),
-		Polarity:   ev.Polarity().String(),
+	return ev.BundleStats(core.BundleStatsConfig{
+		Bonus:      cfg.Bonus,
 		K:          cfg.K,
-		Selected:   exp.Selected,
-		Cutoff:     exp.Cutoff,
-		BaseCutoff: exp.BaseCutoff,
-		// The attribution sweep already evaluated the zero and full
-		// vectors; its norms are bit-identical to direct Disparity calls
-		// (the prefix-sweep invariant), so nothing is recomputed here.
-		NormBefore:       att.NormBase,
-		NormAfter:        att.NormFull,
-		NDCG:             ndcg,
-		AdmittedCount:    len(exp.AdmittedByBonus),
-		DisplacedCount:   len(exp.DisplacedByBonus),
-		AdmittedByBonus:  capIDs(exp.AdmittedByBonus),
-		DisplacedByBonus: capIDs(exp.DisplacedByBonus),
+		Margins:    margins,
+		IncludeFPR: cfg.IncludeFPR,
+	})
+}
+
+// FromStats shapes one BundleData pass into the versioned audit bundle.
+// Every list field is non-nil, so an empty beneficiary list renders as an
+// empty JSON array (and an empty CSV/Markdown section), never as null.
+func FromStats(ev *core.Evaluator, dataset string, st *core.BundleStats) *Bundle {
+	d := ev.Dataset()
+	b := &Bundle{
+		Version:          BundleVersion,
+		Dataset:          dataset,
+		N:                d.N(),
+		Polarity:         ev.Polarity().String(),
+		K:                st.K,
+		Selected:         st.Selected,
+		Cutoff:           st.Cutoff,
+		BaseCutoff:       st.BaseCutoff,
+		NormBefore:       st.NormBefore,
+		NormAfter:        st.NormAfter,
+		NDCG:             st.NDCG,
+		FPRDiff:          st.FPRDiff,
+		AdmittedCount:    len(st.AdmittedByBonus),
+		DisplacedCount:   len(st.DisplacedByBonus),
+		AdmittedByBonus:  capIDs(st.AdmittedByBonus),
+		DisplacedByBonus: capIDs(st.DisplacedByBonus),
 	}
 	b.Policy = make([]PolicyLine, d.NumFair())
 	for j := range b.Policy {
 		b.Policy[j] = PolicyLine{
-			Attribute:       exp.FairNames[j],
-			Points:          cfg.Bonus[j],
+			Attribute:       st.FairNames[j],
+			Points:          st.Bonus[j],
 			GroupSize:       d.GroupSize(j),
-			SelectedWith:    exp.GroupCounts[j],
-			SelectedWithout: exp.BaseGroupCounts[j],
-			LeaveOneOutNorm: att.LeaveOneOut[j],
-			Contribution:    att.Contribution[j],
+			SelectedWith:    st.GroupCounts[j],
+			SelectedWithout: st.BaseGroupCounts[j],
+			LeaveOneOutNorm: st.LeaveOneOut[j],
+			Contribution:    st.Contribution[j],
 		}
 	}
-	if cfg.IncludeFPR {
-		fpr, err := ev.FPRDiff(cfg.Bonus, cfg.K)
-		if err != nil {
-			return nil, err
-		}
-		b.FPRDiff = fpr
-	}
-
-	// Counterfactual margins for the boundary window: the `margins` last
-	// selected and `margins` first excluded objects, in rank order, from
-	// one ranking.
-	cfs, err := ev.CounterfactualWindow(cfg.Bonus, cfg.K, margins)
-	if err != nil {
-		return nil, err
-	}
-	b.Margins = make([]MarginLine, len(cfs))
-	for i, cf := range cfs {
+	b.Margins = make([]MarginLine, len(st.Margins))
+	for i, cf := range st.Margins {
 		b.Margins[i] = MarginLine{
 			Object:     cf.Object,
 			Rank:       cf.Rank,
@@ -240,16 +237,20 @@ func BuildBundle(ev *core.Evaluator, cfg BundleConfig) (*Bundle, error) {
 			Feasible:   cf.Feasible,
 		}
 	}
-	return b, nil
+	return b
 }
 
-// capIDs copies at most MaxBeneficiaryIDs leading ids; the copy also
-// detaches the bundle from the explanation's backing slice.
+// capIDs copies at most MaxBeneficiaryIDs leading ids into a fresh,
+// never-nil slice; the copy also detaches the bundle from the stats'
+// backing slice, and non-nil keeps the JSON form an array even when the
+// list is empty.
 func capIDs(ids []int) []int {
 	if len(ids) > MaxBeneficiaryIDs {
 		ids = ids[:MaxBeneficiaryIDs]
 	}
-	return append([]int(nil), ids...)
+	out := make([]int, len(ids))
+	copy(out, ids)
+	return out
 }
 
 // Render writes the bundle in the named format: "json", "csv", or
@@ -278,7 +279,11 @@ func (b *Bundle) RenderJSON(w io.Writer) error {
 // RenderCSV writes the bundle as sectioned CSV: every row starts with a
 // section tag (meta, policy, fpr, admitted, displaced, margin) so the flat
 // file remains self-describing when sections are filtered with standard
-// tools.
+// tools. Every section that applies to the bundle opens with a header row
+// even when it has no data rows (an empty beneficiary list is a finding,
+// not a formatting accident); only a section that was not requested — fpr
+// on a bundle built without FPR differences — is omitted entirely. The
+// same rule governs the JSON and Markdown forms.
 func (b *Bundle) RenderCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	meta := [][2]string{
@@ -312,15 +317,26 @@ func (b *Bundle) RenderCSV(w io.Writer) error {
 			return err
 		}
 	}
-	for j, v := range b.FPRDiff {
-		if err := cw.Write([]string{"fpr", b.Policy[j].Attribute, fmtG(v)}); err != nil {
+	if b.FPRDiff != nil {
+		if err := cw.Write([]string{"fpr", "attribute", "fpr_diff"}); err != nil {
 			return err
 		}
+		for j, v := range b.FPRDiff {
+			if err := cw.Write([]string{"fpr", b.Policy[j].Attribute, fmtG(v)}); err != nil {
+				return err
+			}
+		}
+	}
+	if err := cw.Write([]string{"admitted", "object"}); err != nil {
+		return err
 	}
 	for _, id := range b.AdmittedByBonus {
 		if err := cw.Write([]string{"admitted", strconv.Itoa(id)}); err != nil {
 			return err
 		}
+	}
+	if err := cw.Write([]string{"displaced", "object"}); err != nil {
+		return err
 	}
 	for _, id := range b.DisplacedByBonus {
 		if err := cw.Write([]string{"displaced", strconv.Itoa(id)}); err != nil {
@@ -382,6 +398,8 @@ func (b *Bundle) RenderMarkdown(w io.Writer) error {
 	}
 	p("## Selection changes\n\nAdmitted through bonus points: %d; displaced: %d.\n\n",
 		b.AdmittedCount, b.DisplacedCount)
+	p("%s\n", idLine("Admitted ids", b.AdmittedByBonus, b.AdmittedCount))
+	p("%s\n\n", idLine("Displaced ids", b.DisplacedByBonus, b.DisplacedCount))
 
 	p("## Counterfactual margins at the cutoff\n\n")
 	p("Minimal change that flips each boundary object, in effective score and in bonus points.\n\n")
@@ -396,6 +414,25 @@ func (b *Bundle) RenderMarkdown(w io.Writer) error {
 			fmtG(m.Effective), score, bonus)
 	}
 	return err
+}
+
+// idLine renders one beneficiary id list as a Markdown line. An empty
+// list says "none" explicitly — the same section always appears, so the
+// three renderers agree on what an empty list looks like — and a
+// truncated list names the cap so the count/list mismatch reads as
+// policy, not as missing data.
+func idLine(label string, ids []int, total int) string {
+	if len(ids) == 0 {
+		return label + ": none."
+	}
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = strconv.Itoa(id)
+	}
+	if total > len(ids) {
+		label += fmt.Sprintf(" (first %d of %d)", len(ids), total)
+	}
+	return label + ": " + strings.Join(parts, ", ") + "."
 }
 
 // fmtG formats a float at full precision, the bundle's archival rule:

@@ -446,27 +446,33 @@ func (s *Server) runCounterfactual(e *Entry, req CounterfactualRequest) (Counter
 			return CounterfactualResponse{}, &httpError{http.StatusBadRequest, err.Error()}
 		}
 		for r, i := range missing {
-			cf := cfs[r]
-			res := CounterfactualResult{
-				Object:     cf.Object,
-				Selected:   cf.Selected,
-				Rank:       cf.Rank,
-				Effective:  cf.Effective,
-				Cutoff:     cf.Cutoff,
-				Competitor: cf.Competitor,
-				ScoreDelta: cf.ScoreDelta,
-				BonusDelta: cf.BonusDelta,
-				// Copied: the batch carves every PerAttribute row from one
-				// backing array, and a cached row must not pin the whole
-				// batch's backing in the LRU.
-				PerAttribute: append([]float64(nil), cf.PerAttribute...),
-				Feasible:     cf.Feasible,
-			}
+			res := toCounterfactualResult(cfs[r])
 			resp.Results[i] = res
 			s.cache.put(keys[i], res)
 		}
 	}
 	return resp, nil
+}
+
+// toCounterfactualResult shapes one engine counterfactual into the wire
+// form. PerAttribute is copied: engine batches carve every row from one
+// backing array, and a cached row must not pin the whole batch's backing
+// in the LRU. Both the counterfactual endpoint and the report-side cache
+// seeding go through here, so their cached rows are identical by
+// construction.
+func toCounterfactualResult(cf core.Counterfactual) CounterfactualResult {
+	return CounterfactualResult{
+		Object:       cf.Object,
+		Selected:     cf.Selected,
+		Rank:         cf.Rank,
+		Effective:    cf.Effective,
+		Cutoff:       cf.Cutoff,
+		Competitor:   cf.Competitor,
+		ScoreDelta:   cf.ScoreDelta,
+		BonusDelta:   cf.BonusDelta,
+		PerAttribute: append([]float64(nil), cf.PerAttribute...),
+		Feasible:     cf.Feasible,
+	}
 }
 
 // handleReport serves GET /v1/report: the versioned audit bundle for a
@@ -542,7 +548,10 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 				return v, nil
 			}
 			s.reportExecs.Add(1)
-			b, err := report.BuildBundle(e.eval, report.BundleConfig{
+			// One rank-once BundleData pass yields both the bundle and the
+			// margin counterfactuals; the latter seed the per-object cache
+			// so /v1/counterfactual shares the work wherever keys coincide.
+			st, err := report.BuildBundleStats(e.eval, report.BundleConfig{
 				Dataset:    e.name,
 				Bonus:      bonus,
 				K:          k,
@@ -554,7 +563,9 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 				// zero policy, FPR without outcomes), not server faults.
 				return nil, &httpError{http.StatusBadRequest, err.Error()}
 			}
+			b := report.FromStats(e.eval, e.name, st)
 			s.cache.put(key, b)
+			s.seedMarginCounterfactuals(e, bonus, k, st.Margins)
 			return b, nil
 		})
 		if err != nil {
@@ -573,6 +584,25 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	w.WriteHeader(http.StatusOK)
 	_ = bundle.Render(w, format) // status line already out
+}
+
+// seedMarginCounterfactuals publishes the boundary-window counterfactuals
+// a BundleData pass already computed into the per-object counterfactual
+// cache, under exactly the keys POST /v1/counterfactual would use. A
+// follow-up counterfactual request for a boundary object under the same
+// (dataset, bonus, k) is then answered without any ranking: the report
+// and counterfactual endpoints share one cached BundleStats pass wherever
+// their keys coincide. Rows already cached are left alone — both paths
+// compute bit-identical answers, so overwriting would only churn the LRU.
+func (s *Server) seedMarginCounterfactuals(e *Entry, bonus []float64, k float64, margins []core.Counterfactual) {
+	req := CounterfactualRequest{Dataset: e.name, Bonus: bonus, K: k}
+	for _, cf := range margins {
+		key := req.objectKey(cf.Object)
+		if _, ok := s.cache.get(key); ok {
+			continue
+		}
+		s.cache.put(key, toCounterfactualResult(cf))
+	}
 }
 
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {

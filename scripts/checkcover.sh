@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# checkcover.sh — total-coverage ratchet, run by the CI coverage job.
+#
+# Runs the whole test suite with a coverage profile and fails when total
+# statement coverage drops below the floor recorded in covermin.txt. The
+# floor only moves up: when a PR raises coverage meaningfully, raise the
+# recorded floor with it (leave ~1 point of slack for run-to-run noise
+# from timing-dependent paths).
+set -eu
+cd "$(dirname "$0")/.."
+
+floor=$(cat scripts/covermin.txt)
+profile=$(mktemp)
+trap 'rm -f "$profile"' EXIT
+
+go test -coverprofile="$profile" ./... > /dev/null
+
+total=$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+if [ -z "$total" ]; then
+    echo "checkcover: could not read total coverage from the profile" >&2
+    exit 1
+fi
+
+echo "checkcover: total statement coverage ${total}% (floor ${floor}%)"
+if awk -v t="$total" -v f="$floor" 'BEGIN { exit !(t < f) }'; then
+    echo "checkcover: coverage ${total}% fell below the recorded floor ${floor}% (scripts/covermin.txt)" >&2
+    exit 1
+fi
