@@ -35,6 +35,10 @@
 //
 //	dca -in school.csv -k 0.05 -counterfactual 12,99,1044
 //	dca -in school.csv -k 0.05 -report md -margins 10 > audit.md
+//
+// -rankstats prints the evaluator's combo-run merge statistics (run count
+// g, run-length spread, registration pre-sort cost) to stderr, composable
+// with every output mode.
 package main
 
 import (
@@ -67,6 +71,7 @@ func main() {
 		cfSpec      = flag.String("counterfactual", "", "comma-separated object ids: print each object's minimal selection-flipping delta")
 		reportFmt   = flag.String("report", "", "write the full audit bundle to stdout: json, csv or md")
 		margins     = flag.Int("margins", 0, "counterfactual margin window on each side of the -report cutoff (0 = default)")
+		rankStats   = flag.Bool("rankstats", false, "print the evaluator's combo-run merge statistics to stderr")
 	)
 	flag.Parse()
 
@@ -152,6 +157,17 @@ func main() {
 		pol = fairrank.Adverse
 	}
 	ev := fairrank.NewEvaluator(d, scorer, pol)
+
+	// -rankstats goes to stderr so it composes with the -sweep and
+	// -report modes, whose stdout is machine-readable.
+	if *rankStats {
+		if st, ok := ev.RunStats(); ok {
+			fmt.Fprintf(os.Stderr, "rankstats: combo runs g=%d, run len min/med/max=%d/%d/%d, pre-sorted in %s\n",
+				st.Runs, st.MinLen, st.MedianLen, st.MaxLen, st.BuildCost)
+		} else {
+			fmt.Fprintln(os.Stderr, "rankstats: full-sort ranking path (no combo runs)")
+		}
+	}
 
 	if *reportFmt != "" {
 		bundle, err := fairrank.BuildAuditBundle(ev, fairrank.AuditConfig{

@@ -109,6 +109,7 @@ func main() {
 					fatal(err)
 				}
 				log.Printf("registered synth dataset school (%d objects, beneficial)", d.N())
+				logRankStats(s, "school")
 			case "compas":
 				cfg := fairrank.DefaultCompasConfig()
 				if *synthN > 0 {
@@ -126,6 +127,7 @@ func main() {
 					fatal(err)
 				}
 				log.Printf("registered synth dataset compas (%d objects, adverse)", d.N())
+				logRankStats(s, "compas")
 			default:
 				fmt.Fprintf(os.Stderr, "fairrankd: unknown synth dataset %q (want school or compas)\n", name)
 				os.Exit(2)
@@ -157,6 +159,7 @@ func main() {
 		}
 		log.Printf("registered CSV dataset %s (%d objects, %d score + %d fairness attributes)",
 			name, d.N(), d.NumScore(), d.NumFair())
+		logRankStats(s, name)
 	}
 	for name := range weights {
 		if _, ok := csvs[name]; !ok {
@@ -211,6 +214,21 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// logRankStats appends the ranking posture to the registration log: with
+// combo runs, every cold top-k request is a g-way merge off the
+// registration-time pre-sort; without them the dataset rides the
+// full-scan path. The same numbers are served per dataset by
+// GET /v1/datasets (rank_stats).
+func logRankStats(s *fairrank.Service, name string) {
+	st, ok := s.RankStats(name)
+	if !ok {
+		log.Printf("dataset %s: full-sort ranking path (no combo runs)", name)
+		return
+	}
+	log.Printf("dataset %s: combo runs g=%d, run len min/med/max=%d/%d/%d, pre-sorted in %s",
+		name, st.Runs, st.MinLen, st.MedianLen, st.MaxLen, st.BuildCost)
 }
 
 func fatal(err error) {

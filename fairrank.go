@@ -197,6 +197,13 @@ func DisparateImpactObjective(k float64) Objective { return core.DisparateImpact
 // The dataset must carry outcomes.
 func FPRObjective(k float64) Objective { return core.FPRObjective(k) }
 
+// RankStats summarizes an Evaluator's combo-run merge structure: the
+// number of distinct fairness-combination runs g, the run-length spread,
+// and the one-time partition + pre-sort cost paid at registration. Read
+// it with Evaluator.RunStats or Service.RankStats; ok=false means the
+// evaluator serves requests off the full-sort path instead.
+type RankStats = rank.RunStats
+
 // NewEvaluator builds an evaluator for measuring bonus vectors on a full
 // dataset: disparity, nDCG utility, disparate impact, FPR differences, and
 // nDCG-targeted proportional scaling.

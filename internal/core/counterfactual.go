@@ -133,8 +133,72 @@ func (e *Evaluator) CounterfactualBatch(bonus []float64, k float64, objs []int) 
 
 	ws := e.ws()
 	defer e.put(ws)
+	if out, ok := e.counterfactualBatchMerge(ws, bonus, cnt, objs); ok {
+		return out, nil
+	}
 	order := e.orderWS(ws, bonus)
 	return e.counterfactualsWS(ws, order, bonus, cnt, objs), nil
+}
+
+// counterfactualBatchMerge answers a counterfactual batch with no
+// population-wide pass at all: the boundary competitors come off a
+// merged prefix of cnt+1 positions (O(cnt·log g)), and each object's
+// rank and effective score from per-run binary searches
+// (ComboRuns.RankOf, O(g·log(n/g)) per object) — the exact rank every
+// run contributes is the count of members outranking the object under
+// the same total order the full sort realizes. ok is false when the
+// merge cannot serve the batch — no run structure, a heterogeneous
+// cohort or oversized prefix (mergeEligible), a zero bonus (the cached
+// base order already answers that for free), or non-finite offsets —
+// and the caller falls back to the full-ranking path.
+func (e *Evaluator) counterfactualBatchMerge(ws *engine.Workspace, bonus []float64, cnt int, objs []int) ([]Counterfactual, bool) {
+	n := e.d.N()
+	p := cnt
+	if cnt < n {
+		p = cnt + 1 // the first excluded object is a boundary competitor too
+	}
+	if isZero(bonus) || !e.mergeEligible(p) {
+		return nil, false
+	}
+	ms := ws.Merge()
+	eff := ws.Eff(n)
+	order, ok := e.runs.MergeTopKInto(bonus, e.pol, p, ms, ws.Ord(p), eff)
+	if !ok {
+		return nil, false
+	}
+	e.merges.Add(1)
+
+	dims := e.d.NumFair()
+	sign := e.pol.Sign()
+	backing := make([]float64, len(objs)*dims)
+	out := make([]Counterfactual, len(objs))
+	for r, obj := range objs {
+		pos, effObj, ok := e.runs.RankOf(obj, bonus, e.pol, ms)
+		if !ok {
+			return nil, false // unreachable: offsets validated by the merge above
+		}
+		cf := Counterfactual{
+			Object:       obj,
+			Rank:         pos,
+			Effective:    effObj,
+			Selected:     pos < cnt,
+			PerAttribute: backing[r*dims : (r+1)*dims : (r+1)*dims],
+		}
+		if cf.Selected {
+			if cnt == n {
+				cf.Competitor = -1
+				out[r] = cf
+				continue
+			}
+			cf.Competitor = order[cnt]
+		} else {
+			cf.Competitor = order[cnt-1]
+		}
+		cf.Cutoff = eff[cf.Competitor]
+		e.finishCounterfactual(&cf, sign)
+		out[r] = cf
+	}
+	return out, true
 }
 
 // CounterfactualWindow computes counterfactuals for the boundary window of
@@ -218,25 +282,33 @@ func (e *Evaluator) counterfactualsWS(ws *engine.Workspace, order []int, bonus [
 			cf.Competitor = order[cnt-1]
 		}
 		cf.Cutoff = eff[cf.Competitor]
-		delta, ok := minFlipDelta(eff[obj], cf.Cutoff, obj, cf.Competitor, cf.Selected)
-		if !ok {
-			// No finite delta flips (an overflowed score landed at ±Inf):
-			// report the object as unflippable rather than emitting a
-			// non-finite delta that JSON cannot carry.
-			out[r] = cf
-			continue
-		}
-		cf.Feasible = true
-		cf.ScoreDelta = delta
-		cf.BonusDelta = sign * cf.ScoreDelta
-		for j := 0; j < dims; j++ {
-			if a := e.d.Fair(obj, j); a > 0 {
-				cf.PerAttribute[j] = cf.BonusDelta / a
-			}
-		}
+		e.finishCounterfactual(&cf, sign)
 		out[r] = cf
 	}
 	return out
+}
+
+// finishCounterfactual computes the minimal flip delta and the
+// per-attribute readings of a counterfactual whose identity fields
+// (Object, Rank, Effective, Selected, Competitor, Cutoff, PerAttribute
+// backing) are already set. Both the full-ranking and the merge batch
+// paths go through it, so their results are bit-identical by
+// construction. Feasible stays false when no finite delta flips (an
+// overflowed score landed at ±Inf): the object is reported unflippable
+// rather than emitting a non-finite delta that JSON cannot carry.
+func (e *Evaluator) finishCounterfactual(cf *Counterfactual, sign float64) {
+	delta, ok := minFlipDelta(cf.Effective, cf.Cutoff, cf.Object, cf.Competitor, cf.Selected)
+	if !ok {
+		return
+	}
+	cf.Feasible = true
+	cf.ScoreDelta = delta
+	cf.BonusDelta = sign * cf.ScoreDelta
+	for j := 0; j < e.d.NumFair(); j++ {
+		if a := e.d.Fair(cf.Object, j); a > 0 {
+			cf.PerAttribute[j] = cf.BonusDelta / a
+		}
+	}
 }
 
 // flips reports whether moving the object's effective score to s flips it

@@ -36,11 +36,23 @@ type Evaluator struct {
 	negTot   []int
 	negAll   int
 
+	// runs is the combo-run merge structure: the population partitioned by
+	// distinct fairness row, each run pre-sorted by base score at
+	// construction, so any cold top-p prefix is an O(p log g) merge instead
+	// of an O(n log n) sort (a bonus vector shifts each run by one constant
+	// offset and can never reorder it internally). nil when the partition
+	// declined — too many distinct rows for the merge to pay off.
+	runs *rank.ComboRuns
+
 	// rankings counts the full-population ranking passes the evaluator has
 	// performed (score evaluation + ordering; the cached uncompensated
 	// order is free and never counted). This is the engine's ranking-count
 	// hook: the rank-once tests pin their ranking budgets on deltas of it.
+	// merges is its combo-run counterpart: prefix requests answered by the
+	// g-way merge, which touches only O(p + g) elements and is therefore
+	// never a full-population pass.
 	rankings atomic.Int64
+	merges   atomic.Int64
 }
 
 // NewEvaluator builds an evaluator for the dataset under the given ranking
@@ -78,6 +90,7 @@ func NewEvaluator(d *dataset.Dataset, scorer rank.Scorer, pol rank.Polarity) *Ev
 			}
 		}
 	}
+	e.runs = rank.NewComboRuns(d, base, 0)
 	e.pool.New = func() any { return engine.NewWorkspace(d.NumFair()) }
 	return e
 }
@@ -99,6 +112,43 @@ func (e *Evaluator) put(w *engine.Workspace) { e.pool.Put(w) }
 // taking the difference across a call ("a cold bundle costs at most
 // dims+2 rankings"); it is safe to read concurrently.
 func (e *Evaluator) RankingCount() int64 { return e.rankings.Load() }
+
+// MergeCount reports how many prefix requests the evaluator has answered
+// through the combo-run merge instead of a full-population ranking pass.
+// Together with RankingCount it pins the routing: the merge-path tests
+// assert a cold 80k bundle performs zero full rankings and exactly its
+// per-order budget of merges.
+func (e *Evaluator) MergeCount() int64 { return e.merges.Load() }
+
+// RunStats reports the combo-run decomposition statistics (g, run-length
+// spread, one-time construction cost). ok is false when the partition
+// declined and every request takes the full-sort path.
+func (e *Evaluator) RunStats() (rank.RunStats, bool) {
+	if e.runs == nil {
+		return rank.RunStats{}, false
+	}
+	return e.runs.Stats(), true
+}
+
+// mergeEligible reports whether the combo-run merge should answer a
+// prefix request of length p. The merge pays O(g) setup (offsets +
+// heapify) and ~log2(g) heap compares per emitted position; the
+// full-scan paths pay an O(n) scoring pass plus n·log2(p) bounded-heap
+// work (or n·log2(n) for a full sort). The thresholds are
+// benchmark-derived (see BENCH_rank.json): a heterogeneous cohort whose
+// runs average fewer than ~4 members cannot amortize its heap entries,
+// and once the prefix covers most of the population the heavily
+// optimized full sort catches the merge's per-position heap work — both
+// shapes keep their existing full-scan route, so the merge never
+// regresses a worst case.
+func (e *Evaluator) mergeEligible(p int) bool {
+	if e.runs == nil {
+		return false
+	}
+	n := e.d.N()
+	g := e.runs.Runs()
+	return g*4 <= n && 4*p <= 3*n
+}
 
 // orderWS returns the full ranking under bonus using workspace buffers;
 // the result aliases ws (or the cached original order) and must not be
@@ -127,6 +177,17 @@ func (e *Evaluator) rankedPrefixWS(ws *engine.Workspace, bonus []float64, p int)
 	if isZero(bonus) {
 		return e.origOrd[:p]
 	}
+	if e.mergeEligible(p) {
+		// Combo-run merge: O(p log g) pops over the pre-sorted runs, no
+		// population-wide scoring or sorting at all. The merge fills the
+		// workspace effective-score buffer for every emitted id, exactly
+		// the entries downstream prefix consumers read. It declines (and
+		// falls through to the scan paths) only for non-finite offsets.
+		if pre, ok := e.runs.MergeTopKInto(bonus, e.pol, p, ws.Merge(), ws.Ord(p), ws.Eff(n)); ok {
+			e.merges.Add(1)
+			return pre
+		}
+	}
 	if p >= n/2 {
 		// Selecting most of the population saves nothing over sorting it.
 		return e.orderWS(ws, bonus)[:p]
@@ -139,13 +200,15 @@ func (e *Evaluator) rankedPrefixWS(ws *engine.Workspace, bonus []float64, p int)
 }
 
 // selectWS returns the top-k prefix under bonus; same aliasing rules as
-// orderWS.
+// orderWS. It routes through rankedPrefixWS, so a selection needing only
+// the leading cnt positions takes the combo-run merge or bounded-heap
+// path instead of a full sort.
 func (e *Evaluator) selectWS(ws *engine.Workspace, bonus []float64, k float64) ([]int, error) {
 	cnt, err := rank.SelectCount(e.d.N(), k)
 	if err != nil {
 		return nil, err
 	}
-	return e.orderWS(ws, bonus)[:cnt], nil
+	return e.rankedPrefixWS(ws, bonus, cnt), nil
 }
 
 // Order returns the full ranking under the given bonus vector (descending
@@ -202,9 +265,27 @@ func (e *Evaluator) Disparity(bonus []float64, k float64) ([]float64, error) {
 	return out, nil
 }
 
-// ndcgWS computes NDCG using workspace buffers.
+// ndcgWS computes NDCG using workspace buffers. Only the leading cut
+// positions of the compensated order contribute to the DCG sum, so the
+// order comes from rankedPrefixWS and the value from the same prefix-DCG
+// fold the sweep engine runs — bit-identical to
+// metrics.NDCGAtFrac(base, fullOrder, origOrd, k), which resolves the
+// cut through the identical metrics.PrefixCount arithmetic.
 func (e *Evaluator) ndcgWS(ws *engine.Workspace, bonus []float64, k float64) (float64, error) {
-	return metrics.NDCGAtFrac(e.base, e.orderWS(ws, bonus), e.origOrd, k)
+	cut, err := metrics.PrefixCount(e.d.N(), k)
+	if err != nil {
+		return 0, err
+	}
+	order := e.rankedPrefixWS(ws, bonus, cut)
+	cuts := ws.Cnts(1)
+	cuts[0] = cut
+	agg := ws.Agg(2)
+	corrected := metrics.PrefixDCGInto(e.base, order, cuts, agg[:1])
+	ideal := metrics.PrefixDCGInto(e.base, e.origOrd, cuts, agg[1:])
+	if ideal[0] == 0 {
+		return 0, metrics.ErrZeroIdealDCG
+	}
+	return corrected[0] / ideal[0], nil
 }
 
 // NDCG returns the utility of the compensated ranking at selection

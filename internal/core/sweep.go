@@ -17,8 +17,12 @@ import (
 // k varies. The ranking under a bonus vector does not depend on k, so the
 // engine groups points by distinct bonus vector, ranks each group once,
 // and answers every k in the group from prefix aggregates of that single
-// sorted order: an S-point sweep costs O(n log n + n·f + S·f) per group
-// instead of S × O(n log n + n·f).
+// sorted order. Only the leading maxCut positions are ever read, so each
+// group's order comes from rankedPrefixWS: the combo-run merge when
+// eligible (O(maxCut·log g), no population-wide pass at all), the
+// bounded-heap prefix otherwise — an S-point sweep costs one prefix
+// ranking plus O(maxCut·f + S·f) per group instead of
+// S × O(n log n + n·f).
 //
 // Heterogeneous sweeps (every point its own bonus) degenerate to singleton
 // groups: a prefix over one cut performs exactly the pointwise
@@ -162,7 +166,7 @@ func (e *Evaluator) DisparitySweep(points []SweepPoint) ([][]float64, error) {
 	out := e.vectorRows(len(points))
 	e.parallel(len(groups), func(ws *engine.Workspace, g int) {
 		gr := &groups[g]
-		order := e.orderWS(ws, gr.bonus)
+		order := e.rankedPrefixWS(ws, gr.bonus, gr.cuts[len(gr.cuts)-1])
 		cent := metrics.PrefixCentroidInto(e.d, order, gr.cuts, ws.Pop(), ws.Agg(len(gr.cuts)*dims))
 		for r, pi := range gr.pts {
 			row := cent[gr.cutPos[r]*dims : (gr.cutPos[r]+1)*dims]
@@ -187,7 +191,7 @@ func (e *Evaluator) NDCGSweep(points []SweepPoint) ([]float64, error) {
 	errs := make([]error, len(points))
 	e.parallel(len(groups), func(ws *engine.Workspace, g int) {
 		gr := &groups[g]
-		order := e.orderWS(ws, gr.bonus)
+		order := e.rankedPrefixWS(ws, gr.bonus, gr.cuts[len(gr.cuts)-1])
 		nc := len(gr.cuts)
 		agg := ws.Agg(2 * nc)
 		corrected := metrics.PrefixDCGInto(e.base, order, gr.cuts, agg[:nc])
@@ -223,7 +227,7 @@ func (e *Evaluator) DisparateImpactSweep(points []SweepPoint) ([][]float64, erro
 	out := e.vectorRows(len(points))
 	e.parallel(len(groups), func(ws *engine.Workspace, g int) {
 		gr := &groups[g]
-		order := e.orderWS(ws, gr.bonus)
+		order := e.rankedPrefixWS(ws, gr.bonus, gr.cuts[len(gr.cuts)-1])
 		counts := metrics.PrefixGroupCountsInto(e.d, order, gr.cuts, ws.Cnts(len(gr.cuts)*dims))
 		for r, pi := range gr.pts {
 			c := gr.cutPos[r]
@@ -255,7 +259,7 @@ func (e *Evaluator) FPRDiffSweep(points []SweepPoint) ([][]float64, error) {
 	out := e.vectorRows(len(points))
 	e.parallel(len(groups), func(ws *engine.Workspace, g int) {
 		gr := &groups[g]
-		order := e.orderWS(ws, gr.bonus)
+		order := e.rankedPrefixWS(ws, gr.bonus, gr.cuts[len(gr.cuts)-1])
 		nc := len(gr.cuts)
 		cnts := ws.Cnts(nc*dims + nc)
 		rows, all := cnts[:nc*dims], cnts[nc*dims:]

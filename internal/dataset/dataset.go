@@ -280,6 +280,57 @@ func (d *Dataset) WithFairColumns(cols []int) *Dataset {
 	}
 }
 
+// FairCombos partitions the objects by bitwise-identical fairness
+// attribute rows. It returns the combo index of every object (combo ids
+// are assigned in first-appearance order) and one representative row per
+// combo. Two objects share a combo exactly when every fairness attribute
+// matches bit for bit — the invariant the combo-run merge ranking relies
+// on: such objects receive identical bonus totals under *every* bonus
+// vector, so their relative order never changes.
+//
+// maxCombos caps the partition: as soon as more distinct rows than that
+// appear (a continuous attribute makes nearly every row unique, and a
+// run-per-object partition buys nothing), the scan aborts and ok is
+// false. A maxCombos <= 0 means no cap.
+func (d *Dataset) FairCombos(maxCombos int) (comboOf []int32, reps [][]float64, ok bool) {
+	comboOf = make([]int32, d.n)
+	if len(d.fair) == 0 {
+		// No fairness attributes: every object is the single empty combo.
+		return comboOf, [][]float64{{}}, true
+	}
+	byKey := make(map[string]int32)
+	key := make([]byte, 8*len(d.fair))
+	var repIDs []int
+	for i := 0; i < d.n; i++ {
+		for j, col := range d.fair {
+			bits := math.Float64bits(col[i])
+			for o := 0; o < 8; o++ {
+				key[8*j+o] = byte(bits >> (8 * o))
+			}
+		}
+		c, seen := byKey[string(key)]
+		if !seen {
+			if maxCombos > 0 && len(repIDs) >= maxCombos {
+				return nil, nil, false
+			}
+			c = int32(len(repIDs))
+			byKey[string(key)] = c
+			repIDs = append(repIDs, i)
+		}
+		comboOf[i] = c
+	}
+	backing := make([]float64, len(repIDs)*len(d.fair))
+	reps = make([][]float64, len(repIDs))
+	for c, i := range repIDs {
+		row := backing[c*len(d.fair) : (c+1)*len(d.fair) : (c+1)*len(d.fair)]
+		for j, col := range d.fair {
+			row[j] = col[i]
+		}
+		reps[c] = row
+	}
+	return comboOf, reps, true
+}
+
 // Builder accumulates objects row by row and produces a Dataset.
 type Builder struct {
 	scoreNames []string

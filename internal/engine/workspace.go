@@ -1,5 +1,7 @@
 package engine
 
+import "fairrank/internal/rank"
+
 // Workspace owns the scratch buffers of one descent or evaluation
 // goroutine. All buffers grow on demand and are reused across steps, so
 // the steady-state allocation count of a descent step is zero.
@@ -20,6 +22,8 @@ type Workspace struct {
 	smp  []int     // per-step sample index buffer
 	cnt  []int     // prefix-count rows (sweep engine: group counts per cut)
 	mark []bool    // absolute-id membership marks (kept all-false between uses)
+
+	merge rank.MergeScratch // combo-run merge state (heap, cursors, offsets)
 }
 
 // NewWorkspace returns a workspace for objectives over dims fairness
@@ -93,6 +97,11 @@ func (w *Workspace) SampleBuf(n int) []int {
 	w.smp = growInts(w.smp, n)
 	return w.smp
 }
+
+// Merge returns the combo-run merge scratch. Like every other buffer it
+// is sized on demand (by the merge itself) and reused across requests,
+// so steady-state merges allocate nothing.
+func (w *Workspace) Merge() *rank.MergeScratch { return &w.merge }
 
 // Marks returns the membership-mark buffer sized for a universe of n
 // absolute object ids. Callers must reset every mark they set before

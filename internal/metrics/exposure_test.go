@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"fairrank/internal/dataset"
+)
+
+// exposureDataset builds a two-binary-attribute cohort from row-major
+// fairness rows: rows[i] = {A, B} for object i.
+func exposureDataset(t *testing.T, rows [][2]float64) *dataset.Dataset {
+	t.Helper()
+	n := len(rows)
+	score := make([]float64, n)
+	colA := make([]float64, n)
+	colB := make([]float64, n)
+	for i, r := range rows {
+		score[i] = float64(i)
+		colA[i] = r[0]
+		colB[i] = r[1]
+	}
+	d, err := dataset.New([]string{"s"}, []string{"A", "B"},
+		[][]float64{score}, [][]float64{colA, colB}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestExposureWorkedExample(t *testing.T) {
+	// Ranking positions carry weights 1/log2(pos+2):
+	//   pos 0 -> 1/log2(2) = 1, pos 1 -> 1/log2(3), pos 2 -> 1/log2(4) = 0.5,
+	//   pos 3 -> 1/log2(5).
+	// Members {5, 4} sit at positions 0 and 2, so their exposure is
+	// exactly 1 + 0.5 = 1.5 — the two dyadic positions, no rounding.
+	order := []int{5, 1, 4, 0}
+	member := func(i int) bool { return i == 5 || i == 4 }
+	if got := Exposure(order, member); got != 1.5 {
+		t.Errorf("Exposure = %v, want exactly 1.5", got)
+	}
+
+	// Members at positions 1 and 3 get the irrational weights.
+	other := func(i int) bool { return i == 1 || i == 0 }
+	want := 1/math.Log2(3) + 1/math.Log2(5)
+	if got := Exposure(order, other); math.Abs(got-want) > 1e-15 {
+		t.Errorf("Exposure = %v, want %v", got, want)
+	}
+}
+
+func TestExposureEdgeCases(t *testing.T) {
+	if got := Exposure(nil, func(int) bool { return true }); got != 0 {
+		t.Errorf("empty ranking: Exposure = %v, want 0", got)
+	}
+	if got := Exposure([]int{2, 0, 1}, func(int) bool { return false }); got != 0 {
+		t.Errorf("empty group: Exposure = %v, want 0", got)
+	}
+	// The whole population's exposure is the sum of the position weights,
+	// independent of which object holds which position.
+	all := func(int) bool { return true }
+	a := Exposure([]int{0, 1, 2}, all)
+	b := Exposure([]int{2, 0, 1}, all)
+	if a != b {
+		t.Errorf("full-population exposure depends on permutation: %v vs %v", a, b)
+	}
+}
+
+func TestDDPWorkedExample(t *testing.T) {
+	// Four objects under the identity ranking, position weights
+	// w = {1, 1/log2(3), 1/2, 1/log2(5)}:
+	//   obj 0: A only      obj 1: B only
+	//   obj 2: neither     obj 3: both A and B
+	// Group A = {0, 3}: per-capita (w0+w3)/2 = (1 + 1/log2(5))/2 ≈ 0.7153
+	// Group B = {1, 3}: per-capita (w1+w3)/2 ≈ 0.5308
+	// Rest    = {2}:    per-capita w2 = 0.5
+	// DDP = max pairwise gap = A − rest.
+	d := exposureDataset(t, [][2]float64{{1, 0}, {0, 1}, {0, 0}, {1, 1}})
+	order := []int{0, 1, 2, 3}
+	got, err := DDP(d, order, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (1+1/math.Log2(5))/2 - 0.5
+	if math.Abs(got-want) > 1e-15 {
+		t.Errorf("DDP = %v, want %v", got, want)
+	}
+
+	// Reversing the ranking flips who gets the top weight: now the rest
+	// object 2 sits at position 1 and group B leads.
+	//   order {3, 2, 1, 0}: A = (w0+w3)/2 (objects 3, 0 at pos 0, 3),
+	//   B = (w0+w2)/2, rest = w1. The max gap is B − A.
+	rev := []int{3, 2, 1, 0}
+	got, err = DDP(d, rev, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := (1 + 1/math.Log2(5)) / 2
+	b := (1 + 0.5) / 2
+	rest := 1 / math.Log2(3)
+	want = math.Max(math.Abs(a-b), math.Max(math.Abs(a-rest), math.Abs(b-rest)))
+	if math.Abs(got-want) > 1e-15 {
+		t.Errorf("reversed DDP = %v, want %v", got, want)
+	}
+}
+
+func TestDDPParityAndDegenerate(t *testing.T) {
+	// Two groups with mirror-image membership at symmetric positions:
+	// A = {0}, B = {1} under order {0, 1} — per-capita 1 vs 1/log2(3).
+	d := exposureDataset(t, [][2]float64{{1, 0}, {0, 1}})
+	got, err := DDP(d, []int{0, 1}, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - 1/math.Log2(3)
+	if math.Abs(got-want) > 1e-15 {
+		t.Errorf("DDP = %v, want %v", got, want)
+	}
+
+	// Everyone in group A, group B and the rest empty: fewer than two
+	// populated groups means no pairwise gap to measure.
+	uni := exposureDataset(t, [][2]float64{{1, 0}, {1, 0}, {1, 0}})
+	got, err = DDP(uni, []int{2, 0, 1}, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("single-group DDP = %v, want 0", got)
+	}
+
+	// No fairness columns is a caller error, not a zero.
+	if _, err := DDP(uni, []int{0, 1, 2}, nil); err == nil {
+		t.Error("DDP with no fairness attributes did not error")
+	}
+}
+
+func TestDDPMembershipThreshold(t *testing.T) {
+	// Membership is > 0.5: a 0.5 entry counts as out, matching the
+	// documented binary-attributes-only contract.
+	n := 3
+	score := []float64{0, 1, 2}
+	col := []float64{1, 0.5, 0}
+	d, err := dataset.New([]string{"s"}, []string{"A"}, [][]float64{score}, [][]float64{col}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	got, err := DDP(d, order, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A = {0} per-capita 1; rest = {1, 2} per-capita (1/log2(3) + 1/2)/2.
+	want := 1 - (1/math.Log2(3)+0.5)/2
+	if math.Abs(got-want) > 1e-15 {
+		t.Errorf("DDP = %v, want %v", got, want)
+	}
+}

@@ -161,19 +161,24 @@ func TestBuildBundleBitIdentical(t *testing.T) {
 	}
 }
 
-// TestBuildBundleRankingBudget80k is the acceptance gate of the rewrite:
-// on the production-scale 80k school cohort (4 fairness dimensions) a
-// cold bundle must perform at most dims+2 ranking passes, measured
-// through the engine's ranking-count hook. The pass itself budgets
-// dims+1: one compensated prefix plus one leave-one-out prefix per
-// non-zero bonus dimension (the base order is cached and free).
+// TestBuildBundleRankingBudget80k is the acceptance gate of the merge
+// ranking: on the production-scale 80k school cohort (4 fairness
+// dimensions, combo-run partition available) a cold bundle must perform
+// ZERO full-population ranking passes — every distinct order it needs
+// (one compensated prefix plus one leave-one-out prefix per non-zero
+// bonus dimension; the base order is cached and free) is answered by
+// the combo-run merge, measured through the RankingCount/MergeCount
+// hooks.
 func TestBuildBundleRankingBudget80k(t *testing.T) {
 	if testing.Short() {
 		t.Skip("80k cohort generation in -short mode")
 	}
 	ev := benchBundleEvaluator(t)
 	dims := ev.Dataset().NumFair()
-	before := ev.RankingCount()
+	if _, ok := ev.RunStats(); !ok {
+		t.Fatal("school cohort built no combo runs; merge path unavailable")
+	}
+	beforeRank, beforeMerge := ev.RankingCount(), ev.MergeCount()
 	if _, err := BuildBundle(ev, BundleConfig{
 		Dataset: "school",
 		Bonus:   []float64{2, 11, 10.5, 12.5},
@@ -181,11 +186,11 @@ func TestBuildBundleRankingBudget80k(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	got := ev.RankingCount() - before
-	if budget := int64(dims + 2); got > budget {
-		t.Fatalf("cold bundle performed %d rankings, budget %d (dims=%d)", got, budget, dims)
+	if got := ev.RankingCount() - beforeRank; got != 0 {
+		t.Errorf("cold bundle performed %d full-population rankings, expected 0 (merge path)", got)
 	}
-	if want := int64(dims + 1); got != want {
-		t.Errorf("cold bundle performed %d rankings, expected exactly %d (one compensated + dims leave-one-out)", got, want)
+	merges := ev.MergeCount() - beforeMerge
+	if want := int64(dims + 1); merges != want {
+		t.Errorf("cold bundle performed %d merges, expected exactly %d (one compensated + dims leave-one-out)", merges, want)
 	}
 }

@@ -465,6 +465,29 @@ type DatasetInfo struct {
 	FairNames   []string `json:"fair_names"`
 	Polarity    string   `json:"polarity"`
 	HasOutcomes bool     `json:"has_outcomes"`
+	// RankStats describes the dataset's combo-run merge decomposition;
+	// absent when the partition declined (too many distinct fairness
+	// rows) and every request takes the full-sort path.
+	RankStats *RankStatsInfo `json:"rank_stats,omitempty"`
+}
+
+// RankStatsInfo reports a dataset's combo-run decomposition — the
+// pre-sorted run structure behind merge-served cold rankings.
+type RankStatsInfo struct {
+	// Runs is g, the number of distinct fairness-attribute combinations.
+	Runs int `json:"runs"`
+	// MinRunLen/MedianRunLen/MaxRunLen summarize run sizes.
+	MinRunLen    int `json:"min_run_len"`
+	MedianRunLen int `json:"median_run_len"`
+	MaxRunLen    int `json:"max_run_len"`
+	// BuildMicros is the one-time registration cost of the partition and
+	// per-run pre-sort, in microseconds.
+	BuildMicros int64 `json:"build_us"`
+	// MergeCount and RankingCount are the evaluator's lifetime counters:
+	// prefix requests answered by the g-way merge vs full-population
+	// ranking passes.
+	MergeCount   int64 `json:"merge_count"`
+	RankingCount int64 `json:"ranking_count"`
 }
 
 // HealthResponse is the /healthz body.

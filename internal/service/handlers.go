@@ -616,9 +616,28 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 			FairNames:   e.d.FairNames(),
 			Polarity:    e.pol.String(),
 			HasOutcomes: e.d.HasOutcomes(),
+			RankStats:   rankStatsInfo(e.eval),
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// rankStatsInfo converts an evaluator's combo-run statistics to the
+// listing shape; nil when the partition declined.
+func rankStatsInfo(eval *core.Evaluator) *RankStatsInfo {
+	st, ok := eval.RunStats()
+	if !ok {
+		return nil
+	}
+	return &RankStatsInfo{
+		Runs:         st.Runs,
+		MinRunLen:    st.MinLen,
+		MedianRunLen: st.MedianLen,
+		MaxRunLen:    st.MaxLen,
+		BuildMicros:  st.BuildCost.Microseconds(),
+		MergeCount:   eval.MergeCount(),
+		RankingCount: eval.RankingCount(),
+	}
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

@@ -79,6 +79,20 @@ func (s *Server) Register(name string, d *dataset.Dataset, scorer rank.Scorer, p
 	return s.reg.Register(name, d, scorer, pol)
 }
 
+// RankStats reports the combo-run merge statistics of the shared
+// evaluator registered under name: run count g, the run-length spread,
+// and the one-time partition + pre-sort cost. ok is false when the
+// dataset is unknown or its evaluator declined the partition (too many
+// distinct fairness combinations) and serves requests off the full-sort
+// path instead.
+func (s *Server) RankStats(name string) (rank.RunStats, bool) {
+	e, ok := s.reg.Get(name)
+	if !ok {
+		return rank.RunStats{}, false
+	}
+	return e.eval.RunStats()
+}
+
 // Handler returns the route table. Method mismatches get 405 from the mux
 // method patterns; everything under /v1 answers JSON.
 func (s *Server) Handler() http.Handler {

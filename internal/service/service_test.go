@@ -94,7 +94,7 @@ func getJSON(t testing.TB, url string, out any) (int, string) {
 }
 
 func TestHealthAndDatasets(t *testing.T) {
-	_, ts := newTestServer(t)
+	s, ts := newTestServer(t)
 	var h HealthResponse
 	if code, body := getJSON(t, ts.URL+"/healthz", &h); code != 200 {
 		t.Fatalf("healthz: %d %s", code, body)
@@ -114,6 +114,28 @@ func TestHealthAndDatasets(t *testing.T) {
 	}
 	if ds[1].Polarity != "adverse" || !ds[1].HasOutcomes {
 		t.Errorf("compas info = %+v", ds[1])
+	}
+	// Both synthetic cohorts have discrete fairness rows, so each
+	// evaluator carries a combo-run partition and the listing surfaces
+	// its stats for observability — mirrored by Server.RankStats.
+	for i, name := range []string{"school", "compas"} {
+		rs := ds[i].RankStats
+		if rs == nil {
+			t.Fatalf("%s: rank_stats missing from listing", name)
+		}
+		if rs.Runs < 2 || rs.MinRunLen < 1 || rs.MedianRunLen < rs.MinRunLen || rs.MaxRunLen < rs.MedianRunLen {
+			t.Errorf("%s rank_stats = %+v", name, rs)
+		}
+		st, ok := s.RankStats(name)
+		if !ok {
+			t.Fatalf("Server.RankStats(%q) reported no combo runs", name)
+		}
+		if st.Runs != rs.Runs || st.MinLen != rs.MinRunLen || st.MedianLen != rs.MedianRunLen || st.MaxLen != rs.MaxRunLen {
+			t.Errorf("%s: Server.RankStats %+v disagrees with listing %+v", name, st, rs)
+		}
+	}
+	if _, ok := s.RankStats("nope"); ok {
+		t.Error("RankStats on an unknown dataset reported ok")
 	}
 }
 

@@ -2,6 +2,7 @@ package synth
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"fairrank/internal/dataset"
@@ -42,6 +43,16 @@ type SchoolConfig struct {
 	ENIMeanOther     float64
 	ENISD            float64
 
+	// ENILevels rounds the drawn ENI onto a grid of this many values in
+	// [0,1] (levels-1 equal steps), mirroring how the real index is
+	// published: NYC reports a school's ENI to two decimal places, and a
+	// student inherits their school's value, so the attribute takes a few
+	// hundred distinct values at most — never 80,000. The grid is also
+	// what makes the combo-run merge ranking effective, since the number
+	// of distinct fairness rows bounds the run count. 0 or 1 disables
+	// rounding (continuous ENI); negative is rejected.
+	ENILevels int
+
 	// Score model, on the 0-100 grading scale.
 	BaseMean  float64 // population mean of GPA/test before penalties
 	AbilitySD float64 // spread of the shared latent ability
@@ -81,14 +92,16 @@ func DefaultSchoolConfig() SchoolConfig {
 		ENIMeanLowIncome:  0.74,
 		ENIMeanOther:      0.46,
 		ENISD:             0.22,
-		BaseMean:          76,
-		AbilitySD:         10,
-		NoiseSD:           4,
-		PenaltyLowIncome:  0.7,
-		PenaltyELL:        8.5,
-		PenaltySpecialEd:  8.5,
-		PenaltyENI:        8.5,
-		TailFactor:        0.25,
+		ENILevels:         101, // hundredths, like the published index
+
+		BaseMean:         76,
+		AbilitySD:        10,
+		NoiseSD:          4,
+		PenaltyLowIncome: 0.7,
+		PenaltyELL:       8.5,
+		PenaltySpecialEd: 8.5,
+		PenaltyENI:       8.5,
+		TailFactor:       0.25,
 	}
 }
 
@@ -106,6 +119,9 @@ func GenerateSchool(cfg SchoolConfig) (*dataset.Dataset, error) {
 	if cfg.LowIncomeRate < 0 || cfg.LowIncomeRate > 1 {
 		return nil, fmt.Errorf("synth: low income rate %v outside [0,1]", cfg.LowIncomeRate)
 	}
+	if cfg.ENILevels < 0 {
+		return nil, fmt.Errorf("synth: ENI levels %d is negative", cfg.ENILevels)
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	b := dataset.NewBuilder(
 		[]string{"GPA", "TestScores"},
@@ -121,6 +137,10 @@ func GenerateSchool(cfg SchoolConfig) (*dataset.Dataset, error) {
 			eni = stats.Clamp(cfg.ENIMeanLowIncome+cfg.ENISD*rng.NormFloat64(), 0, 1)
 		} else {
 			eni = stats.Clamp(cfg.ENIMeanOther+cfg.ENISD*rng.NormFloat64(), 0, 1)
+		}
+		if cfg.ENILevels > 1 {
+			steps := float64(cfg.ENILevels - 1)
+			eni = math.Round(eni*steps) / steps
 		}
 		ell := 0.0
 		pell := cfg.ELLGivenOther
