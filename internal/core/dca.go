@@ -217,7 +217,7 @@ func (t *Trainer) BaseScores() []float64 { return t.base }
 // samples with trailing-average smoothing) when RefineSteps > 0, and final
 // rounding to Granularity. obj is the fairness objective to drive to zero.
 func (t *Trainer) Train(obj Objective, opts Options) (Result, error) {
-	start := time.Now()
+	start := time.Now() //fairlint:allow determinism -- wall-clock Elapsed is pure observability; it never enters the trained bonus or any ranked output
 	if err := opts.validate(t.d); err != nil {
 		return Result{}, err
 	}
@@ -266,7 +266,7 @@ func (t *Trainer) TrainCore(obj Objective, opts Options) (Result, error) {
 // TrainFull executes the whole-dataset variant of Section IV-C; see
 // FullDCA.
 func (t *Trainer) TrainFull(obj Objective, opts Options) (Result, error) {
-	start := time.Now()
+	start := time.Now() //fairlint:allow determinism -- wall-clock Elapsed is pure observability; it never enters the trained bonus or any ranked output
 	opts.SampleSize = t.d.N()
 	opts.RefineSteps = 0
 	if err := opts.validate(t.d); err != nil {

@@ -62,7 +62,7 @@ func NewComboRuns(d *dataset.Dataset, base []float64, maxRuns int) *ComboRuns {
 			return nil // NaN breaks the total order; decline rather than diverge
 		}
 	}
-	begin := time.Now()
+	begin := time.Now() //fairlint:allow determinism -- one-time BuildElapsed stat in RunStats is pure observability; run contents and merge order never read the clock
 	comboOf, reps, ok := d.FairCombos(maxRuns)
 	if !ok {
 		return nil

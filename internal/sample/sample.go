@@ -52,8 +52,10 @@ func (s *Sampler) Uniform(k int) []int {
 func (s *Sampler) UniformInto(dst []int) []int {
 	k := len(dst)
 	if k > s.n {
+		//fairlint:allow intoalloc -- error-path panic message; unreachable on a steady-state draw
 		panic(fmt.Sprintf("sample: requested %d of %d", k, s.n))
 	}
+	//fairlint:allow intoalloc -- one-time lazy init of the displacement table; steady-state draws allocate nothing (pinned by AllocsPerRun)
 	if s.dispVal == nil {
 		s.dispVal = make([]int, s.n)
 		s.dispGen = make([]uint64, s.n)

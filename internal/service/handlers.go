@@ -235,6 +235,10 @@ func (s *Server) evaluateSweep(e *Entry, req EvaluateRequest) (EvaluateResponse,
 		resp.Values = make([]float64, n)
 	}
 	keys := make([]string, n)
+	// missing is a request-index slice, appended in request order, so the
+	// scatter/gather loops below are deterministic regardless of cache
+	// state (pinned by TestEvaluateGatherOrderIndependent). Keep it a
+	// slice: a map here would reintroduce iteration-order nondeterminism.
 	var missing []int
 	for i, pt := range req.Points {
 		keys[i] = pointKey(req.Dataset, req.Metric, pt)
@@ -424,6 +428,8 @@ func (s *Server) runCounterfactual(e *Entry, req CounterfactualRequest) (Counter
 		Results:   make([]CounterfactualResult, len(req.Objects)),
 	}
 	keys := make([]string, len(req.Objects))
+	// Request-index slice in request order; see the note in runEvaluate.
+	// Pinned by TestCounterfactualGatherOrderIndependent.
 	var missing []int
 	for i, obj := range req.Objects {
 		keys[i] = req.objectKey(obj)

@@ -8,7 +8,9 @@
 #      points at a file that does not exist;
 #   3. an /v1 endpoint routed in internal/service/service.go is not
 #      documented in both README.md and docs/ARCHITECTURE.md;
-#   4. an internal package has no doc.go package comment.
+#   4. an internal package has no doc.go package comment;
+#   5. an analyzer registered in tools/fairlint's Suite() is missing a
+#      row in the docs/ARCHITECTURE.md "Enforced invariants" table.
 set -u
 cd "$(dirname "$0")/.."
 fail=0
@@ -61,6 +63,20 @@ for dir in internal/*/; do
         err "$dir has no doc.go package comment"
     fi
 done
+
+# 5. Every analyzer registered in the fairlint suite has a row in the
+#    "Enforced invariants" table. Names come from the Name: field of
+#    each Analyzer definition; a table row starts "| `<name>` |".
+if [ -d tools/fairlint ]; then
+    names=$(grep -h '^	Name:' tools/fairlint/*/[a-z]*.go | sed 's/.*"\([a-z]*\)".*/\1/' | sort -u)
+    [ -n "$names" ] || err "found no analyzer Name: fields under tools/fairlint"
+    for name in $names; do
+        grep -q "^| \`$name\` |" docs/ARCHITECTURE.md \
+            || err "analyzer $name has no row in the ARCHITECTURE.md invariants table"
+    done
+else
+    err "tools/fairlint does not exist"
+fi
 
 if [ "$fail" -ne 0 ]; then
     exit 1

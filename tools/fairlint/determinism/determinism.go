@@ -1,0 +1,234 @@
+// Package determinism polices the exactness-pinned packages: their
+// outputs are pinned bit-for-bit by hex goldens and differential
+// harnesses, so nothing in them may depend on Go's randomized map
+// iteration order, the clock, or a random stream.
+//
+// Flagged in matching packages (non-test files):
+//
+//   - ranging over a map while accumulating floats into, or appending
+//     to, state declared outside the loop (iteration order reaches the
+//     result), or while writing output (fmt/io) from the loop body.
+//     Appending keys that are sorted afterwards in the same function —
+//     the canonical collect-then-sort idiom — is recognized and legal.
+//   - importing math/rand or math/rand/v2.
+//   - calling time.Now. Wall-clock timing of phases is legitimate
+//     observability; such sites carry //fairlint:allow determinism --
+//     <reason> making the "never in ranked output" argument in place.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"fairrank/tools/fairlint/internal/directive"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "determinism",
+	Doc:      "forbid map-iteration-order-dependent results, math/rand, and time.Now in exactness-pinned packages",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+var packagesFlag *string
+
+func init() {
+	packagesFlag = Analyzer.Flags.String("packages", "internal/core,internal/rank,internal/metrics,internal/report",
+		"comma-separated package path patterns the invariant applies to")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !directive.PackageMatch(pass.Pkg.Path(), *packagesFlag) {
+		return nil, nil
+	}
+	sup := directive.New(pass)
+	for _, file := range pass.Files {
+		if directive.TestFile(pass, file.Pos()) {
+			continue
+		}
+		for _, imp := range file.Imports {
+			switch imp.Path.Value {
+			case `"math/rand"`, `"math/rand/v2"`:
+				sup.Reportf(pass, imp.Pos(), "math/rand in exactness-pinned package %s: pinned outputs must be reproducible; plumb a seeded source from outside the package", pass.Pkg.Path())
+			}
+		}
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		if directive.TestFile(pass, call.Pos()) {
+			return
+		}
+		fn := typeutil.Callee(pass.TypesInfo, call)
+		if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Now" {
+			sup.Reportf(pass, call.Pos(), "time.Now in exactness-pinned package %s: pinned outputs must not read the clock; annotate //fairlint:allow determinism -- <reason> for pure observability", pass.Pkg.Path())
+		}
+	})
+	// Map ranges are checked per enclosing function so the
+	// collect-then-sort idiom can look past the loop.
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil || directive.TestFile(pass, fd.Pos()) {
+			return
+		}
+		checkMapRanges(pass, sup, fd.Body)
+	})
+	return nil, nil
+}
+
+func checkMapRanges(pass *analysis.Pass, sup *directive.Suppressor, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRangeBody(pass, sup, body, rng)
+		return true
+	})
+}
+
+// checkMapRangeBody flags order-dependent effects inside one map-range
+// body. fn is the whole enclosing function body, used to look for a
+// subsequent sort of an appended-to slice.
+func checkMapRangeBody(pass *analysis.Pass, sup *directive.Suppressor, fn *ast.BlockStmt, rng *ast.RangeStmt) {
+	outside := func(e ast.Expr) (types.Object, bool) {
+		obj := rootObject(pass, e)
+		if obj == nil {
+			return nil, false
+		}
+		return obj, obj.Pos() < rng.Pos() || obj.Pos() >= rng.End()
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.ASSIGN || n.Tok == token.ADD_ASSIGN || n.Tok == token.SUB_ASSIGN ||
+				n.Tok == token.MUL_ASSIGN || n.Tok == token.QUO_ASSIGN {
+				for _, lhs := range n.Lhs {
+					if !isFloat(pass, lhs) {
+						continue
+					}
+					// Writes keyed by the map key (m2[k] = v) are
+					// order-independent; accumulation into one outer
+					// float cell is not, and for ASSIGN only reads of
+					// the cell on the RHS make it an accumulation.
+					if _, isIdx := lhs.(*ast.IndexExpr); isIdx && n.Tok == token.ASSIGN {
+						continue
+					}
+					if obj, out := outside(lhs); out {
+						if n.Tok == token.ASSIGN && !mentions(pass, n.Rhs, obj) {
+							continue
+						}
+						sup.Reportf(pass, n.Pos(), "float accumulation into %s inside a map range: iteration order reaches the rounded result; sort the keys first or annotate //fairlint:allow determinism -- <reason>", obj.Name())
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "append" && len(n.Args) > 0 {
+					if obj, out := outside(n.Args[0]); out && !sortedAfter(pass, fn, rng, obj) {
+						sup.Reportf(pass, n.Pos(), "append to %s inside a map range without sorting it afterwards: element order follows map iteration; sort after the loop or annotate //fairlint:allow determinism -- <reason>", obj.Name())
+					}
+					return true
+				}
+			}
+			if fn := typeutil.Callee(pass.TypesInfo, n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+				sup.Reportf(pass, n.Pos(), "fmt.%s inside a map range emits output in map iteration order; sort the keys first or annotate //fairlint:allow determinism -- <reason>", fn.Name())
+			}
+		}
+		return true
+	})
+}
+
+// sortedAfter reports whether obj is passed to a sort call after the
+// range statement in the same function body (the collect-then-sort
+// idiom).
+func sortedAfter(pass *analysis.Pass, fn *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || found {
+			return true
+		}
+		callee := typeutil.Callee(pass.TypesInfo, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		switch callee.Pkg().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			if rootObject(pass, arg) == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// rootObject resolves the base object of an lvalue-ish expression
+// (x, x.f, x[i], *x → x's object).
+func rootObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[x]; obj != nil {
+				return obj
+			}
+			return pass.TypesInfo.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// mentions reports whether obj is read anywhere in the expressions.
+func mentions(pass *analysis.Pass, exprs []ast.Expr, obj types.Object) bool {
+	for _, e := range exprs {
+		hit := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				hit = true
+			}
+			return !hit
+		})
+		if hit {
+			return true
+		}
+	}
+	return false
+}
+
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,15 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"fairrank/tools/fairlint/determinism"
+	"fairrank/tools/fairlint/internal/antest"
+)
+
+func TestDeterminism(t *testing.T) {
+	antest.Run(t, "testdata", determinism.Analyzer,
+		"example.com/internal/metrics",
+		"example.com/internal/service",
+	)
+}

@@ -1,0 +1,86 @@
+// Fixture for the determinism analyzer: the package path ends in
+// internal/metrics, so the exactness-pinned rules apply.
+package metrics
+
+import (
+	"fmt"
+	"math/rand" // want `math/rand in exactness-pinned package`
+	"sort"
+	"time"
+)
+
+var _ = rand.Int
+
+// sumScores accumulates floats in map order: the rounding of the sum
+// depends on iteration order, which Go randomizes.
+func sumScores(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation into sum inside a map range`
+	}
+	return sum
+}
+
+// keysSorted is the canonical collect-then-sort idiom and stays legal.
+func keysSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// keysUnsorted leaks map iteration order into the result.
+func keysUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside a map range without sorting it afterwards`
+	}
+	return keys
+}
+
+// dump emits output in map iteration order.
+func dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt\.Println inside a map range`
+	}
+}
+
+// countTotal accumulates ints, which are exact under reordering; not
+// flagged.
+func countTotal(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// keyedWrites assign through the map key, so order cannot reach the
+// result; not flagged.
+func keyedWrites(src map[int]float64, dst []float64) {
+	for k, v := range src {
+		dst[k] = v * 2
+	}
+}
+
+func stamp() time.Duration {
+	t0 := time.Now() // want `time\.Now in exactness-pinned package`
+	return time.Since(t0)
+}
+
+// stampAllowed carries the justification in place.
+func stampAllowed() time.Time {
+	return time.Now() //fairlint:allow determinism -- pure observability; the value never reaches pinned output
+}
+
+// sumAllowed shows a block-form suppression covering the whole loop.
+func sumAllowed(m map[string]float64) float64 {
+	var sum float64
+	//fairlint:allow determinism -- inputs are exact powers of two, so the sum is associative here
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,14 @@
+// Fixture: internal/service is not exactness-pinned for determinism;
+// the analyzer must not fire here.
+package service
+
+import "time"
+
+func stamp(m map[string]float64) float64 {
+	_ = time.Now()
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

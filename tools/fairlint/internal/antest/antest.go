@@ -1,0 +1,245 @@
+// Package antest is a minimal analysistest-style fixture harness.
+//
+// The real golang.org/x/tools/go/analysis/analysistest depends on
+// go/packages, which is not vendored with the Go toolchain; this
+// harness type-checks fixture trees with the standard library's source
+// importer instead, so the fairlint module needs nothing beyond the
+// analysis framework itself.
+//
+// Fixtures live under testdata/src/<import path>/*.go. Expectations
+// use the analysistest comment convention:
+//
+//	sort.Slice(x, less) // want `sort\.Slice`
+//
+// where each backquoted or quoted string is a regexp that must match a
+// diagnostic reported on that line. A comment line of the form
+// "// want^ `re` ..." attaches the expectations to the PREVIOUS line —
+// needed when the diagnostic position is itself inside a comment (an
+// unjustified //fairlint:allow directive cannot carry a trailing
+// comment of its own). Every diagnostic must be matched by an
+// expectation and vice versa.
+package antest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// fset and stdImporter are shared across runs so the source importer's
+// stdlib type-checking work is paid once per test binary.
+var (
+	fset        = token.NewFileSet()
+	stdImporter = importer.ForCompiler(fset, "source", nil)
+	fixturePkgs = map[string]*types.Package{}
+)
+
+// pkg bundles one type-checked fixture package.
+type pkg struct {
+	path  string
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+}
+
+type fixtureImporter struct{}
+
+func (fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := fixturePkgs[path]; ok {
+		return p, nil
+	}
+	return stdImporter.Import(path)
+}
+
+// Run type-checks the fixture packages named by pkgPaths (dependencies
+// first) under testdata/src, applies the analyzer to each, and
+// compares diagnostics with the // want expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	var pkgs []*pkg
+	for _, path := range pkgPaths {
+		pkgs = append(pkgs, load(t, filepath.Join(testdata, "src", filepath.FromSlash(path)), path))
+	}
+	var diags []analysis.Diagnostic
+	for _, p := range pkgs {
+		diags = append(diags, runAnalyzer(t, a, p)...)
+	}
+	check(t, pkgs, diags)
+}
+
+// load parses and type-checks one fixture package.
+func load(t *testing.T, dir, path string) *pkg {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	p := &pkg{path: path}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		p.files = append(p.files, f)
+	}
+	if len(p.files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	p.info = &types.Info{
+		Types:        map[ast.Expr]types.TypeAndValue{},
+		Instances:    map[*ast.Ident]types.Instance{},
+		Defs:         map[*ast.Ident]types.Object{},
+		Uses:         map[*ast.Ident]types.Object{},
+		Implicits:    map[ast.Node]types.Object{},
+		Selections:   map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:       map[ast.Node]*types.Scope{},
+		FileVersions: map[*ast.File]string{},
+	}
+	conf := types.Config{Importer: fixtureImporter{}}
+	tp, err := conf.Check(path, fset, p.files, p.info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", path, err)
+	}
+	p.types = tp
+	fixturePkgs[path] = tp
+	return p
+}
+
+// runAnalyzer executes the analyzer (and its Requires closure) on one
+// package, returning its diagnostics.
+func runAnalyzer(t *testing.T, a *analysis.Analyzer, p *pkg) []analysis.Diagnostic {
+	t.Helper()
+	var diags []analysis.Diagnostic
+	results := map[*analysis.Analyzer]any{}
+	var exec func(a *analysis.Analyzer, record bool)
+	exec = func(a *analysis.Analyzer, record bool) {
+		if _, done := results[a]; done {
+			return
+		}
+		for _, req := range a.Requires {
+			exec(req, false)
+		}
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      p.files,
+			Pkg:        p.types,
+			TypesInfo:  p.info,
+			TypesSizes: types.SizesFor("gc", runtime.GOARCH),
+			ResultOf:   results,
+			ReadFile:   os.ReadFile,
+			Report: func(d analysis.Diagnostic) {
+				if record {
+					diags = append(diags, d)
+				}
+			},
+		}
+		res, err := a.Run(pass)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, p.path, err)
+		}
+		results[a] = res
+	}
+	exec(a, true)
+	return diags
+}
+
+// wantRE extracts the expectation strings of one want comment.
+var wantRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// key identifies one source line.
+type key struct {
+	file string
+	line int
+}
+
+// check matches diagnostics against want expectations.
+func check(t *testing.T, pkgs []*pkg, diags []analysis.Diagnostic) {
+	t.Helper()
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := map[key][]*want{}
+	for _, p := range pkgs {
+		for _, f := range p.files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					rest, prev := "", false
+					switch {
+					case strings.HasPrefix(text, "want^"):
+						rest, prev = text[len("want^"):], true
+					case strings.HasPrefix(text, "want "), text == "want":
+						rest = text[len("want"):]
+					default:
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					k := key{pos.Filename, pos.Line}
+					if prev {
+						k.line--
+					}
+					for _, q := range wantRE.FindAllString(rest, -1) {
+						pat := q[1 : len(q)-1]
+						if q[0] == '"' {
+							var err error
+							pat, err = strconv.Unquote(q)
+							if err != nil {
+								t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+							}
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+						}
+						wants[k] = append(wants[k], &want{re: re})
+					}
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		matched := false
+		for _, w := range wants[k] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	var lines []string
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				lines = append(lines, k.file+":"+strconv.Itoa(k.line)+": expected diagnostic matching "+w.re.String())
+			}
+		}
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		t.Error(l)
+	}
+}

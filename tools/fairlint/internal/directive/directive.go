@@ -1,0 +1,168 @@
+// Package directive parses fairlint suppression comments.
+//
+// A site that legitimately violates an invariant carries
+//
+//	//fairlint:allow <analyzer>[,<analyzer>...] -- <reason>
+//
+// either trailing the offending line or on its own line immediately
+// above the offending statement (in which case it covers that whole
+// statement, including any nested block). The reason is mandatory: a
+// directive without "-- <reason>" suppresses nothing and is itself
+// reported, so every exception in the tree is justified in place.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+const prefix = "//fairlint:allow"
+
+// span is a half-open position interval suppressed for one analyzer.
+type span struct {
+	start, end token.Pos
+}
+
+// Suppressor reports whether diagnostics of the named analyzer are
+// suppressed at a given position in this pass. Building it also reports
+// malformed directives (missing reason, missing analyzer list) that
+// mention the analyzer, so an unjustified //fairlint:allow fails the
+// build instead of silently suppressing.
+type Suppressor struct {
+	spans []span
+}
+
+// New scans the pass's files for //fairlint:allow directives naming the
+// analyzer and returns the resulting Suppressor. Malformed directives
+// are reported through pass.Report.
+func New(pass *analysis.Pass) *Suppressor {
+	s := &Suppressor{}
+	for _, file := range pass.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, prefix)
+				if !ok {
+					continue
+				}
+				names, reason, hasReason := strings.Cut(text, "--")
+				names = strings.TrimSpace(names)
+				reason = strings.TrimSpace(reason)
+				mentions := directiveNames(names, pass.Analyzer.Name)
+				if names == "" {
+					pass.Reportf(c.Pos(), "fairlint:allow directive names no analyzer (want //fairlint:allow %s -- <reason>)", pass.Analyzer.Name)
+					continue
+				}
+				if !mentions {
+					continue
+				}
+				if !hasReason || reason == "" {
+					pass.Reportf(c.Pos(), "fairlint:allow %s has no justification (want //fairlint:allow %s -- <reason>); the directive is ignored", pass.Analyzer.Name, pass.Analyzer.Name)
+					continue
+				}
+				s.spans = append(s.spans, directiveSpan(pass.Fset, file, c))
+			}
+		}
+	}
+	return s
+}
+
+// directiveNames reports whether the comma/space separated analyzer
+// list mentions name.
+func directiveNames(list, name string) bool {
+	for _, f := range strings.FieldsFunc(list, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+		if f == name {
+			return true
+		}
+	}
+	return false
+}
+
+// directiveSpan computes the source interval a directive covers: its
+// own line (trailing-comment form), plus — when a statement or
+// declaration starts on the following line — that node's full extent
+// (leading-comment form).
+func directiveSpan(fset *token.FileSet, file *ast.File, c *ast.Comment) span {
+	line := fset.Position(c.Pos()).Line
+	tf := fset.File(c.Pos())
+	sp := span{start: tf.LineStart(line), end: lineEnd(tf, line)}
+	// Widest statement/decl starting on the next line.
+	var best ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		switch n.(type) {
+		case ast.Stmt, ast.Decl:
+			if fset.Position(n.Pos()).Line == line+1 {
+				if best == nil || (n.Pos() <= best.Pos() && n.End() >= best.End()) {
+					best = n
+				}
+			}
+		}
+		return true
+	})
+	if best != nil {
+		if best.End() > sp.end {
+			sp.end = best.End()
+		}
+		if best.Pos() < sp.start {
+			sp.start = best.Pos()
+		}
+	}
+	return sp
+}
+
+// lineEnd returns the position just past the last character of line.
+func lineEnd(tf *token.File, line int) token.Pos {
+	if line >= tf.LineCount() {
+		return token.Pos(tf.Base() + tf.Size())
+	}
+	return tf.LineStart(line + 1)
+}
+
+// Suppressed reports whether pos falls inside a justified allow span.
+func (s *Suppressor) Suppressed(pos token.Pos) bool {
+	for _, sp := range s.spans {
+		if pos >= sp.start && pos < sp.end {
+			return true
+		}
+	}
+	return false
+}
+
+// Reportf emits the diagnostic unless the position is suppressed.
+func (s *Suppressor) Reportf(pass *analysis.Pass, pos token.Pos, format string, args ...any) {
+	if s.Suppressed(pos) {
+		return
+	}
+	pass.Reportf(pos, format, args...)
+}
+
+// TestFile reports whether the file containing pos is a _test.go file.
+// fairlint's invariants police production code; differential tests and
+// fixtures deliberately full-sort, allocate, and iterate maps.
+func TestFile(pass *analysis.Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}
+
+// PackageMatch reports whether the package import path matches any of
+// the comma-separated patterns. A pattern matches when it equals the
+// path, is a path-suffix of it, or names a directory on it — so
+// "internal/core" matches both "fairrank/internal/core" and fixture
+// paths like "example.com/internal/core".
+func PackageMatch(path, patterns string) bool {
+	for _, pat := range strings.Split(patterns, ",") {
+		pat = strings.TrimSpace(pat)
+		if pat == "" {
+			continue
+		}
+		if path == pat || strings.HasSuffix(path, "/"+pat) ||
+			strings.HasPrefix(path, pat+"/") || strings.Contains(path, "/"+pat+"/") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,46 @@
+package directive
+
+import "testing"
+
+func TestPackageMatch(t *testing.T) {
+	cases := []struct {
+		path, patterns string
+		want           bool
+	}{
+		{"fairrank/internal/core", "internal/core", true},
+		{"example.com/internal/core", "internal/core,internal/report", true},
+		{"internal/core", "internal/core", true},
+		{"fairrank/internal/coreutil", "internal/core", false},
+		{"fairrank/internal/rank", "internal/core,internal/report", false},
+		{"fairrank/internal/core/sub", "internal/core", true},
+		{"engine", "engine", true},
+		{"fairrank/internal/engine", "engine", true},
+		{"fairrank/internal/rank", "", false},
+		{"fairrank/internal/rank", " , ", false},
+	}
+	for _, c := range cases {
+		if got := PackageMatch(c.path, c.patterns); got != c.want {
+			t.Errorf("PackageMatch(%q, %q) = %v, want %v", c.path, c.patterns, got, c.want)
+		}
+	}
+}
+
+func TestDirectiveNames(t *testing.T) {
+	cases := []struct {
+		list, name string
+		want       bool
+	}{
+		{"rankonce", "rankonce", true},
+		{"rankonce,determinism", "determinism", true},
+		{"rankonce, determinism", "determinism", true},
+		{"rankonce determinism", "determinism", true},
+		{"rankonce", "determinism", false},
+		{"rankonces", "rankonce", false},
+		{"", "rankonce", false},
+	}
+	for _, c := range cases {
+		if got := directiveNames(c.list, c.name); got != c.want {
+			t.Errorf("directiveNames(%q, %q) = %v, want %v", c.list, c.name, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Package intoalloc enforces the *Into naming contract: a function
+// whose name ends in "Into" writes results into caller-provided memory
+// and allocates nothing on the steady-state path. The AllocsPerRun
+// assertions pin a handful of hot functions at runtime; this analyzer
+// checks every *Into function at vet time.
+//
+// Flagged inside *Into bodies (non-test files): make, new, slice/map/
+// channel composite literals, &T{...} literals, string concatenation,
+// any call into package fmt, and append to a slice that is not derived
+// from a parameter or receiver (appends to caller-owned buffers are
+// capacity-managed by the caller and stay amortized-zero-alloc; appends
+// to fresh locals grow).
+package intoalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"fairrank/tools/fairlint/internal/directive"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+	"strings"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "intoalloc",
+	Doc:      "forbid allocating constructs inside *Into functions (the zero-allocation naming contract)",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	sup := directive.New(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Body == nil || !strings.HasSuffix(fd.Name.Name, "Into") {
+			return
+		}
+		if directive.TestFile(pass, fd.Pos()) {
+			return
+		}
+		checkFunc(pass, sup, fd)
+	})
+	return nil, nil
+}
+
+func checkFunc(pass *analysis.Pass, sup *directive.Suppressor, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	owned := callerOwned(pass, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, sup, name, owned, n)
+		case *ast.CompositeLit:
+			switch pass.TypesInfo.TypeOf(n).Underlying().(type) {
+			case *types.Slice, *types.Map, *types.Chan:
+				sup.Reportf(pass, n.Pos(), "composite literal allocates inside %s: *Into functions are allocation-free by contract", name)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					sup.Reportf(pass, n.Pos(), "&composite literal escapes to the heap inside %s: *Into functions are allocation-free by contract", name)
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(pass, n.X) {
+				sup.Reportf(pass, n.Pos(), "string concatenation allocates inside %s: *Into functions are allocation-free by contract", name)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && isString(pass, n.Lhs[0]) {
+				sup.Reportf(pass, n.Pos(), "string concatenation allocates inside %s: *Into functions are allocation-free by contract", name)
+			}
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, sup *directive.Suppressor, name string, owned map[types.Object]bool, call *ast.CallExpr) {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				sup.Reportf(pass, call.Pos(), "make allocates inside %s: *Into functions are allocation-free by contract", name)
+			case "new":
+				sup.Reportf(pass, call.Pos(), "new allocates inside %s: *Into functions are allocation-free by contract", name)
+			case "append":
+				if len(call.Args) > 0 && !derived(pass, owned, call.Args[0]) {
+					sup.Reportf(pass, call.Pos(), "append to a slice not derived from a parameter or receiver inside %s: growing appends allocate; write into caller-provided capacity", name)
+				}
+			}
+			return
+		}
+	}
+	if fn := typeutil.Callee(pass.TypesInfo, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		sup.Reportf(pass, call.Pos(), "fmt.%s allocates inside %s: *Into functions are allocation-free by contract", fn.Name(), name)
+	}
+}
+
+func isString(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// callerOwned returns the set of objects holding caller-provided
+// memory: the receiver, every parameter, and — by fixpoint over the
+// body's assignments — every local derived from one (h := buf[:0],
+// s.heap = append(s.heap, e), out := dst[:cap(dst)], ...).
+func callerOwned(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	owned := map[types.Object]bool{}
+	addField := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, id := range f.Names {
+				if obj := pass.TypesInfo.Defs[id]; obj != nil {
+					owned[obj] = true
+				}
+			}
+		}
+	}
+	addField(fd.Recv)
+	addField(fd.Type.Params)
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj == nil || owned[obj] {
+					continue
+				}
+				if derived(pass, owned, as.Rhs[i]) {
+					owned[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return owned
+}
+
+// derived reports whether the expression's backing memory traces to a
+// caller-owned object.
+func derived(pass *analysis.Pass, owned map[types.Object]bool, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[e]
+		}
+		return obj != nil && owned[obj]
+	case *ast.SelectorExpr:
+		return derived(pass, owned, e.X)
+	case *ast.IndexExpr:
+		return derived(pass, owned, e.X)
+	case *ast.SliceExpr:
+		return derived(pass, owned, e.X)
+	case *ast.ParenExpr:
+		return derived(pass, owned, e.X)
+	case *ast.StarExpr:
+		return derived(pass, owned, e.X)
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok {
+			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "append" && len(e.Args) > 0 {
+				return derived(pass, owned, e.Args[0])
+			}
+		}
+		// Method call on a caller-owned value returning its own
+		// buffer (ws.Eff(n) and friends).
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+			return derived(pass, owned, sel.X)
+		}
+		return false
+	}
+	return false
+}

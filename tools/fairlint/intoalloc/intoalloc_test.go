@@ -1,0 +1,12 @@
+package intoalloc_test
+
+import (
+	"testing"
+
+	"fairrank/tools/fairlint/internal/antest"
+	"fairrank/tools/fairlint/intoalloc"
+)
+
+func TestIntoAlloc(t *testing.T) {
+	antest.Run(t, "testdata", intoalloc.Analyzer, "example.com/lib")
+}

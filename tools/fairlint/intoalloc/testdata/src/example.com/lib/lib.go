@@ -1,0 +1,86 @@
+// Fixture for the intoalloc analyzer: the *Into naming contract is
+// package-independent, so any import path works.
+package lib
+
+import "fmt"
+
+// Scratch stands in for caller-owned reusable state.
+type Scratch struct {
+	heap []int
+	name string
+}
+
+// SumInto is a clean *Into function: it only writes through
+// caller-provided memory.
+func SumInto(dst, a, b []float64) []float64 {
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+	return dst
+}
+
+// AppendOwnedInto appends into caller-provided capacity: the
+// destination slices derive from parameters and the receiver, so the
+// appends stay amortized-allocation-free.
+func (s *Scratch) AppendOwnedInto(dst []int, n int) []int {
+	out := dst[:0]
+	s.heap = s.heap[:0]
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+		s.heap = append(s.heap, i)
+	}
+	return out
+}
+
+func allocInto(n int) []float64 {
+	out := make([]float64, n) // want `make allocates inside allocInto`
+	p := new(int)             // want `new allocates inside allocInto`
+	_ = p
+	lit := []int{1, 2, 3} // want `composite literal allocates inside allocInto`
+	_ = lit
+	m := map[string]int{} // want `composite literal allocates inside allocInto`
+	_ = m
+	sp := &Scratch{} // want `&composite literal escapes to the heap inside allocInto`
+	_ = sp
+	return out
+}
+
+func growInto(dst []int, n int) []int {
+	var grown []int
+	for i := 0; i < n; i++ {
+		grown = append(grown, i) // want `append to a slice not derived from a parameter or receiver inside growInto`
+	}
+	copy(dst, grown)
+	return dst
+}
+
+func formatInto(s *Scratch, n int) {
+	s.name = fmt.Sprintf("run-%d", n) // want `fmt\.Sprintf allocates inside formatInto`
+	s.name = s.name + "!"             // want `string concatenation allocates inside formatInto`
+	s.name += "?"                     // want `string concatenation allocates inside formatInto`
+}
+
+// notSuffixed is not an *Into function; allocations are fine.
+func notSuffixed(n int) []int {
+	return make([]int, n)
+}
+
+var table []float64
+
+// lazyInto demonstrates a justified suppression: the one-time lazy
+// init is annotated, the steady-state path stays checked.
+func lazyInto(dst []float64) []float64 {
+	//fairlint:allow intoalloc -- one-time lazy table init; steady-state calls allocate nothing
+	if table == nil {
+		table = make([]float64, 16)
+	}
+	copy(dst, table)
+	return dst
+}
+
+// unjustifiedInto shows a directive without a reason: it suppresses
+// nothing and is itself reported.
+func unjustifiedInto(n int) []int {
+	return make([]int, n) //fairlint:allow intoalloc
+	// want^ `no justification` `make allocates inside unjustifiedInto`
+}

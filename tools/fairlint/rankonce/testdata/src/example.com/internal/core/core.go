@@ -1,0 +1,56 @@
+// Fixture for the rankonce analyzer: the package path ends in
+// internal/core, so the exactness-pinned rules apply.
+package core
+
+import (
+	"container/heap"
+	"slices"
+	"sort"
+)
+
+type byScore struct{ scores []float64 }
+
+func (b byScore) Len() int           { return len(b.scores) }
+func (b byScore) Less(i, j int) bool { return b.scores[i] > b.scores[j] }
+func (b byScore) Swap(i, j int)      { b.scores[i], b.scores[j] = b.scores[j], b.scores[i] }
+
+type intHeap []int
+
+func (h intHeap) Len() int           { return len(h) }
+func (h intHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h intHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x any)        { *h = append(*h, x.(int)) }
+func (h *intHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+func adHocRank(scores []float64, order []int) {
+	sort.Slice(order, func(i, j int) bool { return scores[order[i]] > scores[order[j]] }) // want `sort\.Slice in exactness-pinned package`
+	sort.SliceStable(order, func(i, j int) bool { return order[i] < order[j] })           // want `sort\.SliceStable in exactness-pinned package`
+	sort.Sort(byScore{scores})                                                            // want `sort\.Sort in exactness-pinned package`
+	slices.Sort(scores)                                                                   // want `slices\.Sort in exactness-pinned package`
+	slices.SortFunc(order, func(a, b int) int { return a - b })                           // want `slices\.SortFunc in exactness-pinned package`
+}
+
+func manualHeap(h *intHeap) int {
+	heap.Init(h)             // want `heap\.Init in exactness-pinned package`
+	heap.Push(h, 1)          // want `heap\.Push in exactness-pinned package`
+	return heap.Pop(h).(int) // want `heap\.Pop in exactness-pinned package`
+}
+
+// Canonicalizing small id lists for stable output is not ranking and
+// stays legal.
+func canonicalizeIDs(admitted []int) {
+	sort.Ints(admitted)
+}
+
+// A justified directive suppresses the finding in place.
+func differentialCheck(scores []float64) {
+	//fairlint:allow rankonce -- differential cross-check against the engine's merge path; not a serving code path
+	slices.Sort(scores)
+}
+
+// A directive without a reason suppresses nothing and is itself
+// reported.
+func unjustified(scores []float64) {
+	slices.Sort(scores) //fairlint:allow rankonce
+	// want^ `no justification` `slices\.Sort in exactness-pinned package`
+}

@@ -1,0 +1,9 @@
+// Fixture: internal/rank is where sorting legitimately lives; the
+// rankonce analyzer must not fire here at all.
+package rank
+
+import "sort"
+
+func Order(scores []float64, order []int) {
+	sort.Slice(order, func(i, j int) bool { return scores[order[i]] > scores[order[j]] })
+}

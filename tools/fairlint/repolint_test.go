@@ -1,0 +1,34 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoLintsClean builds the fairlint binary and runs it over the
+// whole repository through go vet, asserting zero diagnostics: every
+// violation introduced by a PR is either fixed or carries a justified
+// //fairlint:allow directive before it can merge.
+func TestRepoLintsClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Skipf("repository root not found at %s: %v", root, err)
+	}
+	bin := filepath.Join(t.TempDir(), "fairlint")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	out, err := build.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building fairlint: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = root
+	out, err = vet.CombinedOutput()
+	if err != nil {
+		t.Errorf("fairlint reports diagnostics on the repository:\n%s", out)
+	}
+}

@@ -1,0 +1,25 @@
+// Fixture stand-in for the real internal/engine: a pooled Workspace
+// whose accessor methods hand out scratch buffers by design (the
+// analyzer exempts methods on the workspace type itself).
+package engine
+
+type Workspace struct {
+	eff []float64
+	ord []int
+}
+
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+func (w *Workspace) Eff(n int) []float64 {
+	if cap(w.eff) < n {
+		w.eff = make([]float64, n)
+	}
+	return w.eff[:n]
+}
+
+func (w *Workspace) Ord(n int) []int {
+	if cap(w.ord) < n {
+		w.ord = make([]int, n)
+	}
+	return w.ord[:n]
+}

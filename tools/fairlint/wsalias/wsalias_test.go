@@ -1,0 +1,15 @@
+package wsalias_test
+
+import (
+	"testing"
+
+	"fairrank/tools/fairlint/internal/antest"
+	"fairrank/tools/fairlint/wsalias"
+)
+
+func TestWSAlias(t *testing.T) {
+	antest.Run(t, "testdata", wsalias.Analyzer,
+		"example.com/engine",
+		"example.com/internal/core",
+	)
+}
