@@ -19,7 +19,16 @@
 //	POST /v1/evaluate  {"dataset":"school","metric":"ndcg","points":[{"bonus":[...],"k":0.05}]}
 //	GET  /v1/explain   ?dataset=school&k=0.05&bonus=1,11.5,12,12[&object=17]
 //	GET  /v1/datasets
-//	GET  /healthz
+//	GET  /healthz      liveness + gauges (goroutines, in-flight, shed)
+//	GET  /readyz       readiness: registration done and not draining
+//
+// Every /v1 endpoint runs behind the service's resilience chain: a
+// per-endpoint deadline (-timeout and overrides), admission control
+// (-max-inflight, -admit-wait; excess load answers 429 with Retry-After),
+// and drain-aware rejection during shutdown. SIGTERM/SIGINT triggers a
+// graceful drain: /readyz flips to 503, in-flight requests finish (up to
+// -drain-timeout), new ones get 503, and the pprof listener shuts down
+// with the main one.
 package main
 
 import (
@@ -47,6 +56,16 @@ func main() {
 		synthSeed = flag.Int64("synth-seed", 0, "synthetic generator seed (0 = paper default)")
 		cacheSize = flag.Int("cache", 0, "train-result cache entries (0 = default, negative disables)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty disables)")
+
+		timeout   = flag.Duration("timeout", 60*time.Second, "default per-request deadline for /v1 endpoints (0 disables)")
+		trainTO   = flag.Duration("train-timeout", 0, "deadline for POST /v1/train (0 = -timeout)")
+		evalTO    = flag.Duration("evaluate-timeout", 0, "deadline for POST /v1/evaluate (0 = -timeout)")
+		cfTO      = flag.Duration("counterfactual-timeout", 0, "deadline for POST /v1/counterfactual (0 = -timeout)")
+		reportTO  = flag.Duration("report-timeout", 0, "deadline for GET /v1/report (0 = -timeout)")
+		explainTO = flag.Duration("explain-timeout", 0, "deadline for GET /v1/explain (0 = -timeout)")
+		maxInFl   = flag.Int("max-inflight", 0, "max concurrently admitted /v1 requests (0 = default, negative disables admission control)")
+		admitWait = flag.Duration("admit-wait", 0, "how long an over-limit request queues before a 429 (0 = default, negative sheds immediately)")
+		drainTO   = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown budget for in-flight requests")
 		csvs      = make(map[string]string)
 		csvOrder  []string // flag order, so registration and listings are stable
 		weights   = make(map[string]string)
@@ -87,7 +106,30 @@ func main() {
 		}
 	}
 
-	s := fairrank.NewService(fairrank.ServiceConfig{CacheSize: *cacheSize})
+	// Per-endpoint deadlines: -timeout is the default, the endpoint flags
+	// override it. An explicit negative override disables the deadline for
+	// that endpoint only.
+	endpointTO := func(override time.Duration) time.Duration {
+		if override != 0 {
+			if override < 0 {
+				return 0
+			}
+			return override
+		}
+		return *timeout
+	}
+	s := fairrank.NewService(fairrank.ServiceConfig{
+		CacheSize:   *cacheSize,
+		MaxInFlight: *maxInFl,
+		AdmitWait:   *admitWait,
+		Timeouts: fairrank.ServiceTimeouts{
+			Train:          endpointTO(*trainTO),
+			Evaluate:       endpointTO(*evalTO),
+			Counterfactual: endpointTO(*cfTO),
+			Report:         endpointTO(*reportTO),
+			Explain:        endpointTO(*explainTO),
+		},
+	})
 
 	if *synthList != "" {
 		for _, name := range strings.Split(*synthList, ",") {
@@ -172,9 +214,15 @@ func main() {
 		}
 	}
 
+	// Registration is complete: let /readyz start answering 200 before the
+	// listener opens, so the first probe a load balancer sends is honest.
+	s.MarkReady()
+
 	// Profiling in anger: pprof stays off the service handler and listens
 	// on its own (ideally loopback-only) address, so profiles are never
-	// one misconfigured reverse proxy away from the public surface.
+	// one misconfigured reverse proxy away from the public surface. The
+	// server handle outlives the goroutine so shutdown can close it.
+	var psrv *http.Server
 	if *pprofAddr != "" {
 		pm := http.NewServeMux()
 		pm.HandleFunc("/debug/pprof/", pprof.Index)
@@ -182,9 +230,9 @@ func main() {
 		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		psrv = &http.Server{Addr: *pprofAddr, Handler: pm, ReadHeaderTimeout: 10 * time.Second}
 		go func() {
 			log.Printf("pprof listening on %s", *pprofAddr)
-			psrv := &http.Server{Addr: *pprofAddr, Handler: pm, ReadHeaderTimeout: 10 * time.Second}
 			if err := psrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				log.Printf("pprof server: %v", err)
 			}
@@ -207,12 +255,23 @@ func main() {
 	case err := <-done:
 		fatal(err)
 	case <-ctx.Done():
-		log.Print("shutting down")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		// Graceful drain: flip /readyz to 503 and shed new /v1 work first,
+		// then let Shutdown wait for requests already admitted. The pprof
+		// listener goes down in the same budget — a forgotten debug port
+		// must not outlive the service.
+		log.Print("draining: readyz now 503, waiting for in-flight requests")
+		s.StartDrain()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTO)
 		defer cancel()
+		if psrv != nil {
+			if err := psrv.Shutdown(shutdownCtx); err != nil {
+				log.Printf("pprof shutdown: %v", err)
+			}
+		}
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			fatal(err)
 		}
+		log.Print("drained cleanly")
 	}
 }
 

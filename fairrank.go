@@ -375,6 +375,10 @@ type Service = service.Server
 // ServiceConfig parameterizes a Service; the zero value is usable.
 type ServiceConfig = service.Config
 
+// ServiceTimeouts carries the per-endpoint request deadlines of a
+// ServiceConfig; zero fields mean no deadline for that endpoint.
+type ServiceTimeouts = service.Timeouts
+
 // NewService returns a Service with no datasets registered.
 func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -111,6 +112,14 @@ type BundleStats struct {
 // a non-zero bonus, fanned over the engine worker pool. See the package
 // comment above for the cost model and the bit-identity contract.
 func (e *Evaluator) BundleStats(cfg BundleStatsConfig) (*BundleStats, error) {
+	return e.BundleStatsCtx(context.Background(), cfg)
+}
+
+// BundleStatsCtx is BundleStats with cooperative cancellation: once ctx
+// is done, no further ranking task is dispatched, in-flight tasks stop at
+// their next checkpoint, and the context's error is returned — no partial
+// bundle escapes.
+func (e *Evaluator) BundleStatsCtx(ctx context.Context, cfg BundleStatsConfig) (*BundleStats, error) {
 	if err := e.checkBonusDims(cfg.Bonus); err != nil {
 		return nil, err
 	}
@@ -176,16 +185,16 @@ func (e *Evaluator) BundleStats(cfg BundleStatsConfig) (*BundleStats, error) {
 	// cuts is shared read-only by every prefix aggregation below.
 	cuts := []int{cnt}
 	ndcgCuts := []int{ndcgCut}
-	var fullErr error
+	terrs := make([]error, 2+len(looJobs))
 
 	// Task 0 answers everything addressed by the compensated order; task
 	// 1 the base-order side; tasks 2.. one leave-one-out norm each. On a
 	// multicore box the distinct rankings overlap; on one core the fan-out
 	// degenerates to a loop over one pooled workspace.
-	e.parallel(2+len(looJobs), func(ws *engine.Workspace, i int) {
+	perr := e.parallelCtx(ctx, 2+len(looJobs), func(ws *engine.Workspace, i int) {
 		switch i {
 		case 0:
-			fullErr = e.bundleFullPass(ws, cfg, st, cnt, cuts, ndcgCuts)
+			terrs[0] = e.bundleFullPass(ctx, ws, cfg, st, cnt, cuts, ndcgCuts)
 		case 1:
 			st.BaseCutoff = e.base[e.origOrd[cnt-1]]
 			copy(st.BaseGroupCounts, metrics.PrefixGroupCountsInto(e.d, e.origOrd, cuts, ws.Cnts(dims)))
@@ -193,13 +202,17 @@ func (e *Evaluator) BundleStats(cfg BundleStatsConfig) (*BundleStats, error) {
 			st.NormBefore = normAgainst(cent, e.centroid)
 		default:
 			r := i - 2
-			order := e.rankedPrefixWS(ws, looVecs[r], cnt)
+			order, err := e.rankedPrefixWS(ctx, ws, looVecs[r], cnt)
+			if err != nil {
+				terrs[i] = err
+				return
+			}
 			cent := metrics.PrefixCentroidInto(e.d, order, cuts, ws.Pop(), ws.Agg(dims))
 			st.LeaveOneOut[looJobs[r]] = normAgainst(cent, e.centroid)
 		}
 	})
-	if fullErr != nil {
-		return nil, fullErr
+	if err := firstErr(perr, terrs); err != nil {
+		return nil, err
 	}
 
 	st.Reduction = st.NormBefore - st.NormAfter
@@ -216,14 +229,17 @@ func (e *Evaluator) BundleStats(cfg BundleStatsConfig) (*BundleStats, error) {
 // order from one ranked prefix: cutoff, group counts, disparity norm,
 // nDCG, FPR differences, the beneficiary/displaced sets, and the
 // counterfactual margin window. Only it can fail (zero ideal DCG).
-func (e *Evaluator) bundleFullPass(ws *engine.Workspace, cfg BundleStatsConfig, st *BundleStats, cnt int, cuts, ndcgCuts []int) error {
+func (e *Evaluator) bundleFullPass(ctx context.Context, ws *engine.Workspace, cfg BundleStatsConfig, st *BundleStats, cnt int, cuts, ndcgCuts []int) error {
 	n := e.d.N()
 	dims := e.d.NumFair()
 	p := cnt + cfg.Margins
 	if p > n {
 		p = n
 	}
-	order := e.rankedPrefixWS(ws, cfg.Bonus, p)
+	order, err := e.rankedPrefixWS(ctx, ws, cfg.Bonus, p)
+	if err != nil {
+		return err
+	}
 	eff := e.base
 	if !isZero(cfg.Bonus) {
 		eff = ws.Eff(n) // filled by rankedPrefixWS

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"slices"
@@ -328,7 +329,10 @@ func TestRankedPrefixMatchesFullSort(t *testing.T) {
 	ws := ev.ws()
 	defer ev.put(ws)
 	for p := 1; p <= d.N(); p++ {
-		got := ev.rankedPrefixWS(ws, bonus, p)
+		got, err := ev.rankedPrefixWS(context.Background(), ws, bonus, p)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !slices.Equal(got, full[:p]) {
 			t.Fatalf("prefix %d diverges from the full sort:\n got %v\nwant %v", p, got, full[:p])
 		}

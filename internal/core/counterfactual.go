@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -117,6 +118,13 @@ func (e *Evaluator) Counterfactual(bonus []float64, k float64, obj int) (Counter
 // representable change that flips the selection. The only allocations are
 // the result slice and one backing array for the per-attribute rows.
 func (e *Evaluator) CounterfactualBatch(bonus []float64, k float64, objs []int) ([]Counterfactual, error) {
+	return e.CounterfactualBatchCtx(context.Background(), bonus, k, objs)
+}
+
+// CounterfactualBatchCtx is CounterfactualBatch with cooperative
+// cancellation: the single ranking pass behind the batch aborts at its
+// next checkpoint once ctx is done and the context's error is returned.
+func (e *Evaluator) CounterfactualBatchCtx(ctx context.Context, bonus []float64, k float64, objs []int) ([]Counterfactual, error) {
 	if err := e.checkBonusDims(bonus); err != nil {
 		return nil, err
 	}
@@ -133,10 +141,17 @@ func (e *Evaluator) CounterfactualBatch(bonus []float64, k float64, objs []int) 
 
 	ws := e.ws()
 	defer e.put(ws)
-	if out, ok := e.counterfactualBatchMerge(ws, bonus, cnt, objs); ok {
+	out, ok, err := e.counterfactualBatchMerge(ctx, ws, bonus, cnt, objs)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
 		return out, nil
 	}
-	order := e.orderWS(ws, bonus)
+	order, err := e.orderWS(ctx, ws, bonus)
+	if err != nil {
+		return nil, err
+	}
 	return e.counterfactualsWS(ws, order, bonus, cnt, objs), nil
 }
 
@@ -150,21 +165,26 @@ func (e *Evaluator) CounterfactualBatch(bonus []float64, k float64, objs []int) 
 // merge cannot serve the batch — no run structure, a heterogeneous
 // cohort or oversized prefix (mergeEligible), a zero bonus (the cached
 // base order already answers that for free), or non-finite offsets —
-// and the caller falls back to the full-ranking path.
-func (e *Evaluator) counterfactualBatchMerge(ws *engine.Workspace, bonus []float64, cnt int, objs []int) ([]Counterfactual, bool) {
+// and the caller falls back to the full-ranking path. A non-nil error
+// (cancellation mid-merge) means the batch must be abandoned, not
+// retried on the fallback path.
+func (e *Evaluator) counterfactualBatchMerge(ctx context.Context, ws *engine.Workspace, bonus []float64, cnt int, objs []int) ([]Counterfactual, bool, error) {
 	n := e.d.N()
 	p := cnt
 	if cnt < n {
 		p = cnt + 1 // the first excluded object is a boundary competitor too
 	}
 	if isZero(bonus) || !e.mergeEligible(p) {
-		return nil, false
+		return nil, false, nil
 	}
 	ms := ws.Merge()
 	eff := ws.Eff(n)
-	order, ok := e.runs.MergeTopKInto(bonus, e.pol, p, ms, ws.Ord(p), eff)
+	order, ok, err := e.runs.MergeTopKIntoCtx(ctx, bonus, e.pol, p, ms, ws.Ord(p), eff)
+	if err != nil {
+		return nil, false, err
+	}
 	if !ok {
-		return nil, false
+		return nil, false, nil
 	}
 	e.merges.Add(1)
 
@@ -175,7 +195,7 @@ func (e *Evaluator) counterfactualBatchMerge(ws *engine.Workspace, bonus []float
 	for r, obj := range objs {
 		pos, effObj, ok := e.runs.RankOf(obj, bonus, e.pol, ms)
 		if !ok {
-			return nil, false // unreachable: offsets validated by the merge above
+			return nil, false, nil // unreachable: offsets validated by the merge above
 		}
 		cf := Counterfactual{
 			Object:       obj,
@@ -198,7 +218,7 @@ func (e *Evaluator) counterfactualBatchMerge(ws *engine.Workspace, bonus []float
 		e.finishCounterfactual(&cf, sign)
 		out[r] = cf
 	}
-	return out, true
+	return out, true, nil
 }
 
 // CounterfactualWindow computes counterfactuals for the boundary window of
@@ -230,7 +250,10 @@ func (e *Evaluator) CounterfactualWindow(bonus []float64, k float64, m int) ([]C
 	// Only the leading hi positions are ever read (window ids, ranks, and
 	// boundary competitors all live there), so a ranked prefix suffices —
 	// it is bit-identical to the full order's leading segment.
-	order := e.rankedPrefixWS(ws, bonus, hi)
+	order, err := e.rankedPrefixWS(context.Background(), ws, bonus, hi)
+	if err != nil {
+		return nil, err
+	}
 	return e.counterfactualsWS(ws, order, bonus, cnt, order[lo:hi]), nil
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -217,6 +218,14 @@ func (t *Trainer) BaseScores() []float64 { return t.base }
 // samples with trailing-average smoothing) when RefineSteps > 0, and final
 // rounding to Granularity. obj is the fairness objective to drive to zero.
 func (t *Trainer) Train(obj Objective, opts Options) (Result, error) {
+	return t.TrainCtx(context.Background(), obj, opts)
+}
+
+// TrainCtx is Train with cooperative cancellation: the descent loop polls
+// ctx every engine.CancelCheckInterval steps and returns the context's
+// error, so a canceled caller gets its trainer back within one checkpoint
+// interval. A background context reproduces Train bit for bit.
+func (t *Trainer) TrainCtx(ctx context.Context, obj Objective, opts Options) (Result, error) {
 	start := time.Now() //fairlint:allow determinism -- wall-clock Elapsed is pure observability; it never enters the trained bonus or any ranked output
 	if err := opts.validate(t.d); err != nil {
 		return Result{}, err
@@ -227,7 +236,7 @@ func (t *Trainer) Train(obj Objective, opts Options) (Result, error) {
 	}
 	smp := sample.New(t.d.N(), opts.Seed)
 	b := initBonus(t.d, smp, opts)
-	loop := t.loop(bound, opts)
+	loop := t.loop(ctx, bound, opts)
 
 	sampleBuf := t.ws.SampleBuf(opts.SampleSize)
 	ladder := engine.NewLadderUpdater(opts.Ladder, opts.Polarity.Sign())
@@ -263,9 +272,20 @@ func (t *Trainer) TrainCore(obj Objective, opts Options) (Result, error) {
 	return t.Train(obj, opts)
 }
 
+// TrainCoreCtx is TrainCore with cooperative cancellation.
+func (t *Trainer) TrainCoreCtx(ctx context.Context, obj Objective, opts Options) (Result, error) {
+	opts.RefineSteps = 0
+	return t.TrainCtx(ctx, obj, opts)
+}
+
 // TrainFull executes the whole-dataset variant of Section IV-C; see
 // FullDCA.
 func (t *Trainer) TrainFull(obj Objective, opts Options) (Result, error) {
+	return t.TrainFullCtx(context.Background(), obj, opts)
+}
+
+// TrainFullCtx is TrainFull with cooperative cancellation.
+func (t *Trainer) TrainFullCtx(ctx context.Context, obj Objective, opts Options) (Result, error) {
 	start := time.Now() //fairlint:allow determinism -- wall-clock Elapsed is pure observability; it never enters the trained bonus or any ranked output
 	opts.SampleSize = t.d.N()
 	opts.RefineSteps = 0
@@ -283,7 +303,7 @@ func (t *Trainer) TrainFull(obj Objective, opts Options) (Result, error) {
 	for i := range all {
 		all[i] = i
 	}
-	loop := t.loop(bound, opts)
+	loop := t.loop(ctx, bound, opts)
 	ladder := engine.NewLadderUpdater(opts.Ladder, opts.Polarity.Sign())
 	steps, err := loop.Descend(b, opts.Ladder.TotalSteps(),
 		func() []int { return all }, ladder, "full")
@@ -301,8 +321,8 @@ func (t *Trainer) TrainFull(obj Objective, opts Options) (Result, error) {
 	return res, nil
 }
 
-func (t *Trainer) loop(bound engine.Objective, opts Options) *engine.Loop {
-	return &engine.Loop{
+func (t *Trainer) loop(ctx context.Context, bound engine.Objective, opts Options) *engine.Loop {
+	l := &engine.Loop{
 		D:        t.d,
 		Base:     t.base,
 		Obj:      bound,
@@ -311,6 +331,12 @@ func (t *Trainer) loop(bound engine.Objective, opts Options) *engine.Loop {
 		WS:       t.ws,
 		Trace:    opts.Trace,
 	}
+	// Background contexts stay out of the Loop so the step loop skips the
+	// checkpoint branch entirely on the uncancellable paths.
+	if ctx != context.Background() {
+		l.Ctx = ctx
+	}
+	return l
 }
 
 // Run executes the full DCA pipeline on a one-shot Trainer; see

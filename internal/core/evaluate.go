@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"fairrank/internal/dataset"
 	"fairrank/internal/engine"
+	"fairrank/internal/faultinject"
 	"fairrank/internal/metrics"
 	"fairrank/internal/rank"
 )
@@ -152,16 +154,20 @@ func (e *Evaluator) mergeEligible(p int) bool {
 
 // orderWS returns the full ranking under bonus using workspace buffers;
 // the result aliases ws (or the cached original order) and must not be
-// retained past the workspace.
-func (e *Evaluator) orderWS(ws *engine.Workspace, bonus []float64) []int {
+// retained past the workspace. ctx is polled once before the scoring
+// pass: one full ranking is the cancellation granularity of this path.
+func (e *Evaluator) orderWS(ctx context.Context, ws *engine.Workspace, bonus []float64) ([]int, error) {
 	if isZero(bonus) {
-		return e.origOrd
+		return e.origOrd, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	// EffectiveScores over the cached identity indices takes the unrolled
 	// low-dimension dot-product fast path.
 	eff := rank.EffectiveScores(e.d, e.base, e.all, bonus, e.pol, ws.Eff(e.d.N()))
 	e.rankings.Add(1)
-	return rank.OrderInto(eff, ws.Ord(e.d.N()))
+	return rank.OrderInto(eff, ws.Ord(e.d.N())), nil
 }
 
 // rankedPrefixWS returns the first p positions of the full ranking under
@@ -171,11 +177,19 @@ func (e *Evaluator) orderWS(ws *engine.Workspace, bonus []float64) []int {
 // well below the population size, the prefix comes from a bounded-heap
 // selection followed by a sort of just those p indices — O(n log p)
 // instead of O(n log n) — and because the ranking comparator is a total
-// order, the result is bit-identical to orderWS(ws, bonus)[:p].
-func (e *Evaluator) rankedPrefixWS(ws *engine.Workspace, bonus []float64, p int) []int {
+// order, the result is bit-identical to orderWS(ctx, ws, bonus)[:p].
+// Cancellation surfaces either from the combo-run merge's amortized
+// checkpoint or from the single poll ahead of a full scoring pass; a
+// non-nil error means no prefix was produced. The faultinject rank.prefix
+// site fires on every non-zero-bonus call, so chaos tests can make each
+// ranking pass arbitrarily slow without touching real data.
+func (e *Evaluator) rankedPrefixWS(ctx context.Context, ws *engine.Workspace, bonus []float64, p int) ([]int, error) {
 	n := e.d.N()
 	if isZero(bonus) {
-		return e.origOrd[:p]
+		return e.origOrd[:p], nil
+	}
+	if err := faultinject.Fire(ctx, faultinject.SiteRankPrefix); err != nil {
+		return nil, err
 	}
 	if e.mergeEligible(p) {
 		// Combo-run merge: O(p log g) pops over the pre-sorted runs, no
@@ -183,32 +197,43 @@ func (e *Evaluator) rankedPrefixWS(ws *engine.Workspace, bonus []float64, p int)
 		// workspace effective-score buffer for every emitted id, exactly
 		// the entries downstream prefix consumers read. It declines (and
 		// falls through to the scan paths) only for non-finite offsets.
-		if pre, ok := e.runs.MergeTopKInto(bonus, e.pol, p, ws.Merge(), ws.Ord(p), ws.Eff(n)); ok {
+		pre, ok, err := e.runs.MergeTopKIntoCtx(ctx, bonus, e.pol, p, ws.Merge(), ws.Ord(p), ws.Eff(n))
+		if err != nil {
+			return nil, err
+		}
+		if ok {
 			e.merges.Add(1)
-			return pre
+			return pre, nil
 		}
 	}
 	if p >= n/2 {
 		// Selecting most of the population saves nothing over sorting it.
-		return e.orderWS(ws, bonus)[:p]
+		ord, err := e.orderWS(ctx, ws, bonus)
+		if err != nil {
+			return nil, err
+		}
+		return ord[:p], nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	eff := rank.EffectiveScores(e.d, e.base, e.all, bonus, e.pol, ws.Eff(n))
 	e.rankings.Add(1)
 	pre := rank.TopKHeapInto(eff, p, ws.Ord(p))
 	rank.SortRanked(eff, pre)
-	return pre
+	return pre, nil
 }
 
 // selectWS returns the top-k prefix under bonus; same aliasing rules as
 // orderWS. It routes through rankedPrefixWS, so a selection needing only
 // the leading cnt positions takes the combo-run merge or bounded-heap
 // path instead of a full sort.
-func (e *Evaluator) selectWS(ws *engine.Workspace, bonus []float64, k float64) ([]int, error) {
+func (e *Evaluator) selectWS(ctx context.Context, ws *engine.Workspace, bonus []float64, k float64) ([]int, error) {
 	cnt, err := rank.SelectCount(e.d.N(), k)
 	if err != nil {
 		return nil, err
 	}
-	return e.rankedPrefixWS(ws, bonus, cnt), nil
+	return e.rankedPrefixWS(ctx, ws, bonus, cnt)
 }
 
 // Order returns the full ranking under the given bonus vector (descending
@@ -228,9 +253,14 @@ func (e *Evaluator) Order(bonus []float64) []int {
 // Select returns the top-k fraction of the population under the bonus
 // vector, in ranked order.
 func (e *Evaluator) Select(bonus []float64, k float64) ([]int, error) {
+	return e.SelectCtx(context.Background(), bonus, k)
+}
+
+// SelectCtx is Select with cooperative cancellation.
+func (e *Evaluator) SelectCtx(ctx context.Context, bonus []float64, k float64) ([]int, error) {
 	ws := e.ws()
 	defer e.put(ws)
-	sel, err := e.selectWS(ws, bonus, k)
+	sel, err := e.selectWS(ctx, ws, bonus, k)
 	if err != nil {
 		return nil, err
 	}
@@ -241,8 +271,8 @@ func (e *Evaluator) Select(bonus []float64, k float64) ([]int, error) {
 
 // disparityInto writes the full-population disparity vector of the top-k
 // selection under bonus into dst.
-func (e *Evaluator) disparityInto(ws *engine.Workspace, bonus []float64, k float64, dst []float64) error {
-	sel, err := e.selectWS(ws, bonus, k)
+func (e *Evaluator) disparityInto(ctx context.Context, ws *engine.Workspace, bonus []float64, k float64, dst []float64) error {
+	sel, err := e.selectWS(ctx, ws, bonus, k)
 	if err != nil {
 		return err
 	}
@@ -256,10 +286,15 @@ func (e *Evaluator) disparityInto(ws *engine.Workspace, bonus []float64, k float
 // Disparity returns the full-population disparity vector of the top-k
 // selection under the bonus vector.
 func (e *Evaluator) Disparity(bonus []float64, k float64) ([]float64, error) {
+	return e.DisparityCtx(context.Background(), bonus, k)
+}
+
+// DisparityCtx is Disparity with cooperative cancellation.
+func (e *Evaluator) DisparityCtx(ctx context.Context, bonus []float64, k float64) ([]float64, error) {
 	ws := e.ws()
 	defer e.put(ws)
 	out := make([]float64, e.d.NumFair())
-	if err := e.disparityInto(ws, bonus, k, out); err != nil {
+	if err := e.disparityInto(ctx, ws, bonus, k, out); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -271,12 +306,15 @@ func (e *Evaluator) Disparity(bonus []float64, k float64) ([]float64, error) {
 // fold the sweep engine runs — bit-identical to
 // metrics.NDCGAtFrac(base, fullOrder, origOrd, k), which resolves the
 // cut through the identical metrics.PrefixCount arithmetic.
-func (e *Evaluator) ndcgWS(ws *engine.Workspace, bonus []float64, k float64) (float64, error) {
+func (e *Evaluator) ndcgWS(ctx context.Context, ws *engine.Workspace, bonus []float64, k float64) (float64, error) {
 	cut, err := metrics.PrefixCount(e.d.N(), k)
 	if err != nil {
 		return 0, err
 	}
-	order := e.rankedPrefixWS(ws, bonus, cut)
+	order, err := e.rankedPrefixWS(ctx, ws, bonus, cut)
+	if err != nil {
+		return 0, err
+	}
 	cuts := ws.Cnts(1)
 	cuts[0] = cut
 	agg := ws.Agg(2)
@@ -291,9 +329,14 @@ func (e *Evaluator) ndcgWS(ws *engine.Workspace, bonus []float64, k float64) (fl
 // NDCG returns the utility of the compensated ranking at selection
 // fraction k, with the uncompensated ranking as the ideal.
 func (e *Evaluator) NDCG(bonus []float64, k float64) (float64, error) {
+	return e.NDCGCtx(context.Background(), bonus, k)
+}
+
+// NDCGCtx is NDCG with cooperative cancellation.
+func (e *Evaluator) NDCGCtx(ctx context.Context, bonus []float64, k float64) (float64, error) {
 	ws := e.ws()
 	defer e.put(ws)
-	return e.ndcgWS(ws, bonus, k)
+	return e.ndcgWS(ctx, ws, bonus, k)
 }
 
 // LogDiscounted returns the logarithmically discounted disparity of the
@@ -301,7 +344,11 @@ func (e *Evaluator) NDCG(bonus []float64, k float64) (float64, error) {
 func (e *Evaluator) LogDiscounted(bonus []float64, ld metrics.LogDiscount) ([]float64, error) {
 	ws := e.ws()
 	defer e.put(ws)
-	return ld.Eval(e.d, e.orderWS(ws, bonus))
+	ord, err := e.orderWS(context.Background(), ws, bonus)
+	if err != nil {
+		return nil, err
+	}
+	return ld.Eval(e.d, ord)
 }
 
 // DisparateImpact returns the scaled disparate-impact vector of the top-k
@@ -309,7 +356,7 @@ func (e *Evaluator) LogDiscounted(bonus []float64, ld metrics.LogDiscount) ([]fl
 func (e *Evaluator) DisparateImpact(bonus []float64, k float64) ([]float64, error) {
 	ws := e.ws()
 	defer e.put(ws)
-	sel, err := e.selectWS(ws, bonus, k)
+	sel, err := e.selectWS(context.Background(), ws, bonus, k)
 	if err != nil {
 		return nil, err
 	}
@@ -325,7 +372,7 @@ func (e *Evaluator) FPRDiff(bonus []float64, k float64) ([]float64, error) {
 	}
 	ws := e.ws()
 	defer e.put(ws)
-	sel, err := e.selectWS(ws, bonus, k)
+	sel, err := e.selectWS(context.Background(), ws, bonus, k)
 	if err != nil {
 		return nil, err
 	}
@@ -337,6 +384,13 @@ func (e *Evaluator) FPRDiff(bonus []float64, k float64) ([]float64, error) {
 // goroutine holding one pooled workspace for its whole share of the work.
 func (e *Evaluator) parallel(n int, fn func(ws *engine.Workspace, i int)) {
 	engine.ForEachWS(n, e.ws, e.put, fn)
+}
+
+// parallelCtx is parallel with cooperative cancellation: once ctx is
+// done, no further index is dispatched and the context's error is
+// returned after in-flight tasks finish.
+func (e *Evaluator) parallelCtx(ctx context.Context, n int, fn func(ws *engine.Workspace, i int)) error {
+	return engine.ForEachWSCtx(ctx, n, e.ws, e.put, fn)
 }
 
 // scaleProbes interior points per multisection round shrink the bracket by

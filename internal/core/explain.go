@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -59,11 +60,17 @@ type ObjectExplanation struct {
 // Explain produces the transparency report for a bonus vector at selection
 // fraction k.
 func (e *Evaluator) Explain(bonus []float64, k float64) (*Explanation, error) {
-	selWith, err := e.Select(bonus, k)
+	return e.ExplainCtx(context.Background(), bonus, k)
+}
+
+// ExplainCtx is Explain with cooperative cancellation: each of the two
+// selections behind the report polls ctx before its ranking pass.
+func (e *Evaluator) ExplainCtx(ctx context.Context, bonus []float64, k float64) (*Explanation, error) {
+	selWith, err := e.SelectCtx(ctx, bonus, k)
 	if err != nil {
 		return nil, err
 	}
-	selBase, err := e.Select(nil, k)
+	selBase, err := e.SelectCtx(ctx, nil, k)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -188,7 +189,10 @@ func TestMergeCounterfactualDifferential(t *testing.T) {
 			t.Fatalf("k=%g: batch did not take the merge route", k)
 		}
 		ws := ev.ws()
-		order := ev.orderWS(ws, bonus)
+		order, err := ev.orderWS(context.Background(), ws, bonus)
+		if err != nil {
+			t.Fatal(err)
+		}
 		want := ev.counterfactualsWS(ws, order, bonus, cnt, objs)
 		ev.put(ws)
 		for r := range want {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"slices"
@@ -158,15 +159,27 @@ func (e *Evaluator) vectorRows(n int) [][]float64 {
 // vector are ranked once and answered from prefix centroids; distinct
 // bonus vectors fan over the worker pool.
 func (e *Evaluator) DisparitySweep(points []SweepPoint) ([][]float64, error) {
+	return e.DisparitySweepCtx(context.Background(), points)
+}
+
+// DisparitySweepCtx is DisparitySweep with cooperative cancellation: once
+// ctx is done, no further bonus group is ranked and the context's error is
+// returned; no partial result escapes.
+func (e *Evaluator) DisparitySweepCtx(ctx context.Context, points []SweepPoint) ([][]float64, error) {
 	groups, err := e.groupPoints(points, rank.SelectCount)
 	if err != nil {
 		return nil, err
 	}
 	dims := e.d.NumFair()
 	out := e.vectorRows(len(points))
-	e.parallel(len(groups), func(ws *engine.Workspace, g int) {
+	gerrs := make([]error, len(groups))
+	perr := e.parallelCtx(ctx, len(groups), func(ws *engine.Workspace, g int) {
 		gr := &groups[g]
-		order := e.rankedPrefixWS(ws, gr.bonus, gr.cuts[len(gr.cuts)-1])
+		order, err := e.rankedPrefixWS(ctx, ws, gr.bonus, gr.cuts[len(gr.cuts)-1])
+		if err != nil {
+			gerrs[g] = err
+			return
+		}
 		cent := metrics.PrefixCentroidInto(e.d, order, gr.cuts, ws.Pop(), ws.Agg(len(gr.cuts)*dims))
 		for r, pi := range gr.pts {
 			row := cent[gr.cutPos[r]*dims : (gr.cutPos[r]+1)*dims]
@@ -176,6 +189,9 @@ func (e *Evaluator) DisparitySweep(points []SweepPoint) ([][]float64, error) {
 			}
 		}
 	})
+	if err := firstErr(perr, gerrs); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -183,15 +199,25 @@ func (e *Evaluator) DisparitySweep(points []SweepPoint) ([][]float64, error) {
 // in point order. Points sharing a bonus vector are ranked once and
 // answered from prefix DCG sums over the compensated and original orders.
 func (e *Evaluator) NDCGSweep(points []SweepPoint) ([]float64, error) {
+	return e.NDCGSweepCtx(context.Background(), points)
+}
+
+// NDCGSweepCtx is NDCGSweep with cooperative cancellation.
+func (e *Evaluator) NDCGSweepCtx(ctx context.Context, points []SweepPoint) ([]float64, error) {
 	groups, err := e.groupPoints(points, metrics.PrefixCount)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]float64, len(points))
 	errs := make([]error, len(points))
-	e.parallel(len(groups), func(ws *engine.Workspace, g int) {
+	gerrs := make([]error, len(groups))
+	perr := e.parallelCtx(ctx, len(groups), func(ws *engine.Workspace, g int) {
 		gr := &groups[g]
-		order := e.rankedPrefixWS(ws, gr.bonus, gr.cuts[len(gr.cuts)-1])
+		order, err := e.rankedPrefixWS(ctx, ws, gr.bonus, gr.cuts[len(gr.cuts)-1])
+		if err != nil {
+			gerrs[g] = err
+			return
+		}
 		nc := len(gr.cuts)
 		agg := ws.Agg(2 * nc)
 		corrected := metrics.PrefixDCGInto(e.base, order, gr.cuts, agg[:nc])
@@ -205,6 +231,9 @@ func (e *Evaluator) NDCGSweep(points []SweepPoint) ([]float64, error) {
 			out[pi] = corrected[c] / ideal[c]
 		}
 	})
+	if err := firstErr(perr, gerrs); err != nil {
+		return nil, err
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("core: sweep point %d (k=%g): %w", i, points[i].K, err)
@@ -218,6 +247,12 @@ func (e *Evaluator) NDCGSweep(points []SweepPoint) ([]float64, error) {
 // bonus vector are ranked once and answered from prefix group counts; the
 // population group sizes are evaluator constants.
 func (e *Evaluator) DisparateImpactSweep(points []SweepPoint) ([][]float64, error) {
+	return e.DisparateImpactSweepCtx(context.Background(), points)
+}
+
+// DisparateImpactSweepCtx is DisparateImpactSweep with cooperative
+// cancellation.
+func (e *Evaluator) DisparateImpactSweepCtx(ctx context.Context, points []SweepPoint) ([][]float64, error) {
 	groups, err := e.groupPoints(points, rank.SelectCount)
 	if err != nil {
 		return nil, err
@@ -225,9 +260,14 @@ func (e *Evaluator) DisparateImpactSweep(points []SweepPoint) ([][]float64, erro
 	dims := e.d.NumFair()
 	n := e.d.N()
 	out := e.vectorRows(len(points))
-	e.parallel(len(groups), func(ws *engine.Workspace, g int) {
+	gerrs := make([]error, len(groups))
+	perr := e.parallelCtx(ctx, len(groups), func(ws *engine.Workspace, g int) {
 		gr := &groups[g]
-		order := e.rankedPrefixWS(ws, gr.bonus, gr.cuts[len(gr.cuts)-1])
+		order, err := e.rankedPrefixWS(ctx, ws, gr.bonus, gr.cuts[len(gr.cuts)-1])
+		if err != nil {
+			gerrs[g] = err
+			return
+		}
 		counts := metrics.PrefixGroupCountsInto(e.d, order, gr.cuts, ws.Cnts(len(gr.cuts)*dims))
 		for r, pi := range gr.pts {
 			c := gr.cutPos[r]
@@ -239,6 +279,9 @@ func (e *Evaluator) DisparateImpactSweep(points []SweepPoint) ([][]float64, erro
 			}
 		}
 	})
+	if err := firstErr(perr, gerrs); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -248,6 +291,11 @@ func (e *Evaluator) DisparateImpactSweep(points []SweepPoint) ([][]float64, erro
 // answered from prefix false-positive counts; the ground-truth-negative
 // totals are evaluator constants.
 func (e *Evaluator) FPRDiffSweep(points []SweepPoint) ([][]float64, error) {
+	return e.FPRDiffSweepCtx(context.Background(), points)
+}
+
+// FPRDiffSweepCtx is FPRDiffSweep with cooperative cancellation.
+func (e *Evaluator) FPRDiffSweepCtx(ctx context.Context, points []SweepPoint) ([][]float64, error) {
 	if !e.d.HasOutcomes() {
 		return nil, fmt.Errorf("core: FPR evaluation requires outcomes")
 	}
@@ -257,9 +305,14 @@ func (e *Evaluator) FPRDiffSweep(points []SweepPoint) ([][]float64, error) {
 	}
 	dims := e.d.NumFair()
 	out := e.vectorRows(len(points))
-	e.parallel(len(groups), func(ws *engine.Workspace, g int) {
+	gerrs := make([]error, len(groups))
+	perr := e.parallelCtx(ctx, len(groups), func(ws *engine.Workspace, g int) {
 		gr := &groups[g]
-		order := e.rankedPrefixWS(ws, gr.bonus, gr.cuts[len(gr.cuts)-1])
+		order, err := e.rankedPrefixWS(ctx, ws, gr.bonus, gr.cuts[len(gr.cuts)-1])
+		if err != nil {
+			gerrs[g] = err
+			return
+		}
 		nc := len(gr.cuts)
 		cnts := ws.Cnts(nc*dims + nc)
 		rows, all := cnts[:nc*dims], cnts[nc*dims:]
@@ -284,5 +337,20 @@ func (e *Evaluator) FPRDiffSweep(points []SweepPoint) ([][]float64, error) {
 			}
 		}
 	})
+	if err := firstErr(perr, gerrs); err != nil {
+		return nil, err
+	}
 	return out, nil
+}
+
+// firstErr merges the pool-level cancellation error with the per-group
+// worker errors. Group errors win: they carry the site that actually
+// failed (the pool error is the same context error one dispatch later).
+func firstErr(poolErr error, gerrs []error) error {
+	for _, err := range gerrs {
+		if err != nil {
+			return err
+		}
+	}
+	return poolErr
 }

@@ -1,0 +1,168 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"fairrank/internal/dataset"
+	"fairrank/internal/optimize"
+)
+
+// countingObjective is a trivial Objective for loop-mechanics tests: it
+// writes zeros and counts evaluations.
+type countingObjective struct{ evals int }
+
+func (o *countingObjective) EvalInto(ws *Workspace, idx []int, eff []float64, dst []float64) error {
+	o.evals++
+	for j := range dst {
+		dst[j] = 0
+	}
+	return nil
+}
+
+func (o *countingObjective) Name() string { return "counting" }
+
+func cancelTestLoop(t *testing.T, obj Objective, ctx context.Context) *Loop {
+	t.Helper()
+	b := dataset.NewBuilder([]string{"s"}, []string{"f"})
+	b.Add([]float64{1}, []float64{0})
+	b.Add([]float64{2}, []float64{1})
+	b.Add([]float64{3}, []float64{0})
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Loop{
+		D:        d,
+		Base:     []float64{1, 2, 3},
+		Obj:      obj,
+		WS:       NewWorkspace(1),
+		MaxBonus: 0,
+		Ctx:      ctx,
+	}
+}
+
+// TestDescendCancelCheckpoint pins the cancellation contract of the step
+// loop: after the context dies mid-descent, Descend stops at the next
+// checkpoint — within CancelCheckInterval steps — and reports how many
+// steps actually ran.
+func TestDescendCancelCheckpoint(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	obj := &countingObjective{}
+	l := cancelTestLoop(t, obj, ctx)
+
+	const cancelAt = 19 // not a checkpoint multiple: the loop must overrun to the next one
+	step := 0
+	next := func() []int {
+		step++
+		if step == cancelAt {
+			cancel()
+		}
+		return []int{0}
+	}
+	upd := NewLadderUpdater(optimize.Ladder{{LR: 0.1, Steps: 1 << 20}}, 1)
+	b := []float64{0}
+	done, err := l.Descend(b, 10_000, next, upd, "core")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Descend error = %v, want context.Canceled", err)
+	}
+	if done < cancelAt || done > cancelAt+CancelCheckInterval {
+		t.Errorf("Descend ran %d steps after cancel at %d; want within %d of it",
+			done, cancelAt, CancelCheckInterval)
+	}
+	if obj.evals != done {
+		t.Errorf("objective evaluated %d times for %d completed steps", obj.evals, done)
+	}
+}
+
+// TestDescendNilCtxRunsToCompletion pins the default: without a context,
+// the loop has no checkpoint branch and always finishes its budget.
+func TestDescendNilCtxRunsToCompletion(t *testing.T) {
+	obj := &countingObjective{}
+	l := cancelTestLoop(t, obj, nil)
+	upd := NewLadderUpdater(optimize.Ladder{{LR: 0.1, Steps: 1 << 20}}, 1)
+	b := []float64{0}
+	done, err := l.Descend(b, 100, func() []int { return []int{0} }, upd, "core")
+	if err != nil || done != 100 {
+		t.Fatalf("Descend = (%d, %v), want (100, nil)", done, err)
+	}
+}
+
+// TestDescendPreCanceledRunsNothing: a context that is already dead costs
+// zero steps (checkpoint at i=0).
+func TestDescendPreCanceledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	obj := &countingObjective{}
+	l := cancelTestLoop(t, obj, ctx)
+	upd := NewLadderUpdater(optimize.Ladder{{LR: 0.1, Steps: 1 << 20}}, 1)
+	done, err := l.Descend([]float64{0}, 100, func() []int { return []int{0} }, upd, "core")
+	if !errors.Is(err, context.Canceled) || done != 0 || obj.evals != 0 {
+		t.Fatalf("pre-canceled Descend = (%d, %v) with %d evals; want (0, Canceled, 0)", done, err, obj.evals)
+	}
+}
+
+// TestForEachWSCtxCancel pins the pool contract under cancellation: no
+// new index is dispatched after the context dies, every dispatched task
+// runs exactly once to completion, every worker returns its workspace,
+// and the call reports the context error.
+func TestForEachWSCtxCancel(t *testing.T) {
+	const n = 10_000
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	hits := make([]atomic.Int32, n)
+
+	var gets, puts atomic.Int64
+	get := func() *Workspace { gets.Add(1); return NewWorkspace(1) }
+	put := func(*Workspace) { puts.Add(1) }
+
+	err := ForEachWSCtx(ctx, n, get, put, func(ws *Workspace, i int) {
+		hits[i].Add(1)
+		if ran.Add(1) == 64 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	total := ran.Load()
+	if total == n {
+		t.Error("cancellation did not stop dispatch: every task ran")
+	}
+	for i := range hits {
+		if h := hits[i].Load(); h > 1 {
+			t.Fatalf("task %d ran %d times", i, h)
+		}
+	}
+	if gets.Load() != puts.Load() {
+		t.Errorf("workspace leak: %d gets, %d puts", gets.Load(), puts.Load())
+	}
+}
+
+// TestForEachWSCtxPreCanceled: a dead context dispatches nothing but
+// still balances workspace acquisition.
+func TestForEachWSCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	var gets, puts atomic.Int64
+	err := ForEachWSCtx(ctx, 128,
+		func() *Workspace { gets.Add(1); return NewWorkspace(1) },
+		func(*Workspace) { puts.Add(1) },
+		func(ws *Workspace, i int) { ran.Add(1) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	// Workers may each grab a workspace before seeing the closed channel;
+	// the invariant is balance, not zero.
+	if gets.Load() != puts.Load() {
+		t.Errorf("workspace leak: %d gets, %d puts", gets.Load(), puts.Load())
+	}
+	if ran.Load() != 0 {
+		// The dispatch loop checks done before every send, so nothing
+		// should have been handed out.
+		t.Errorf("%d tasks ran under a pre-canceled context", ran.Load())
+	}
+}

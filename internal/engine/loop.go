@@ -1,10 +1,19 @@
 package engine
 
 import (
+	"context"
+
 	"fairrank/internal/dataset"
 	"fairrank/internal/optimize"
 	"fairrank/internal/rank"
 )
+
+// CancelCheckInterval is the number of descent steps between cooperative
+// cancellation checkpoints in Descend. Polling ctx.Err() is cheap but not
+// free; amortizing it over a power-of-two stride keeps the steady-state
+// step loop allocation-free and off the benchguard radar while still
+// bounding how long a canceled caller waits for its worker.
+const CancelCheckInterval = 16
 
 // Objective is a fairness objective bound to a dataset and specialized for
 // repeated, allocation-free evaluation. Implementations are produced by a
@@ -53,14 +62,26 @@ type Loop struct {
 	MaxBonus float64
 	WS       *Workspace
 	Trace    func(TraceStep)
+
+	// Ctx, when non-nil, is polled every CancelCheckInterval steps;
+	// Descend returns early with the context's error once it is done.
+	// A nil Ctx (the default) adds no per-step work.
+	Ctx context.Context
 }
 
 // Descend runs steps descent steps, mutating b. next returns the sample of
 // the current step (absolute object indices; the engine does not retain
 // it past the step). stage tags trace records, whose step counter is
 // 1-based within the stage. It returns the number of steps completed.
+// When l.Ctx is canceled, Descend stops at the next checkpoint (at most
+// CancelCheckInterval steps later) and returns the context's error.
 func (l *Loop) Descend(b []float64, steps int, next func() []int, upd Updater, stage string) (int, error) {
 	for i := 0; i < steps; i++ {
+		if l.Ctx != nil && i%CancelCheckInterval == 0 {
+			if err := l.Ctx.Err(); err != nil {
+				return i, err
+			}
+		}
 		idx := next()
 		eff := rank.EffectiveScores(l.D, l.Base, idx, b, l.Polarity, l.WS.Eff(len(idx)))
 		dvec := l.WS.Objective()

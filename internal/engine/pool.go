@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -24,20 +25,38 @@ func ForEach(n, dims int, fn func(ws *Workspace, i int)) {
 // pool (e.g. an Evaluator's sync.Pool) use this to recycle buffers across
 // calls.
 func ForEachWS(n int, get func() *Workspace, put func(*Workspace), fn func(ws *Workspace, i int)) {
+	// context.Background is never canceled, so the error is statically nil.
+	_ = ForEachWSCtx(context.Background(), n, get, put, fn)
+}
+
+// ForEachWSCtx is ForEachWS with cooperative cancellation: once ctx is
+// done, no further index is dispatched and ForEachWSCtx returns ctx's
+// error after the in-flight tasks finish. Tasks already handed to a worker
+// always run to completion — long tasks are expected to poll ctx at their
+// own checkpoints — so index-addressed result slices never hold a value
+// from a half-finished fn. All worker goroutines have exited by the time
+// ForEachWSCtx returns, canceled or not.
+func ForEachWSCtx(ctx context.Context, n int, get func() *Workspace, put func(*Workspace), fn func(ws *Workspace, i int)) error {
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
+	done := ctx.Done()
 	if workers == 1 {
 		ws := get()
 		defer put(ws)
 		for i := 0; i < n; i++ {
+			if done != nil {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			fn(ws, i)
 		}
-		return
+		return nil
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -52,9 +71,23 @@ func ForEachWS(n int, get func() *Workspace, put func(*Workspace), fn func(ws *W
 			}
 		}()
 	}
+	// A receive from a nil done channel blocks forever, so with a
+	// background context this select degenerates to the plain send. The
+	// explicit Err check matters when both cases are ready: select picks
+	// randomly, so without it a canceled context with idle workers would
+	// keep dispatching about half the time.
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		if done != nil && ctx.Err() != nil {
+			break dispatch
+		}
+		select {
+		case next <- i:
+		case <-done:
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
+	return ctx.Err()
 }

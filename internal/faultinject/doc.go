@@ -1,0 +1,13 @@
+// Package faultinject provides named fault-injection sites for the
+// serving stack's chaos tests. Production code calls Fire at well-known
+// sites (see sites.go); in the default build Fire is a no-op constant
+// that the compiler folds away, and only builds tagged `faultinject`
+// compile the real registry, where tests arm sites with delays, errors,
+// and panics via Set.
+//
+// The package exists so the resilience layer (deadlines, admission
+// control, panic recovery, graceful drain) is proven against injected
+// slowness, pool exhaustion, and crashes rather than against timing
+// luck. It has no dependencies beyond the standard library and must
+// never be armed outside test binaries.
+package faultinject

@@ -1,0 +1,14 @@
+//go:build !faultinject
+
+package faultinject
+
+import "context"
+
+// Enabled reports whether this binary was built with the faultinject tag.
+const Enabled = false
+
+// Fire is a no-op in the default build; the compiler inlines it away, so
+// production call sites cost nothing.
+func Fire(ctx context.Context, site string) error {
+	return nil
+}

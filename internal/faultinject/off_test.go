@@ -1,0 +1,32 @@
+//go:build !faultinject
+
+package faultinject
+
+import (
+	"context"
+	"testing"
+)
+
+// The default build must compile the hooks down to nothing: Enabled is a
+// false constant and Fire returns nil for every site, armed or not.
+func TestFireIsNoOp(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled = true in a build without the faultinject tag")
+	}
+	for _, site := range []string{
+		SiteTrainStart, SiteEvaluateStart, SiteCounterfactualStart,
+		SiteReportStart, SiteExplainStart, SiteTrainerAcquire,
+		SiteRankPrefix, "no.such.site",
+	} {
+		if err := Fire(context.Background(), site); err != nil {
+			t.Fatalf("Fire(%q) = %v, want nil", site, err)
+		}
+	}
+	// Even a canceled context must not surface: the no-op build never
+	// inspects ctx.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Fire(ctx, SiteTrainStart); err != nil {
+		t.Fatalf("Fire(canceled ctx) = %v, want nil", err)
+	}
+}

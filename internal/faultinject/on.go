@@ -1,0 +1,125 @@
+//go:build faultinject
+
+package faultinject
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Enabled reports whether this binary was built with the faultinject tag.
+const Enabled = true
+
+// Fault describes what Fire does when its site is armed. Zero-valued
+// fields are inert; Delay, Err, and Panic compose in that order.
+type Fault struct {
+	// Delay sleeps before the rest of the fault applies. The sleep is
+	// context-aware: a canceled ctx cuts it short and Fire returns the
+	// context's error.
+	Delay time.Duration
+	// Err is returned by Fire (after Delay).
+	Err error
+	// Panic, when non-empty, makes Fire panic with this message
+	// (after Delay, instead of returning Err).
+	Panic string
+	// Count limits how many firings the fault serves before going
+	// inert; 0 means unlimited until Clear/Reset.
+	Count int
+}
+
+type armedFault struct {
+	f         Fault
+	remaining int // firings left; -1 means unlimited
+	fired     int
+}
+
+var (
+	// armed counts sites with a Set fault so Fire's fast path is one
+	// atomic load when nothing is armed (the overwhelmingly common case
+	// even in tagged test binaries).
+	armed  atomic.Int32
+	mu     sync.Mutex
+	faults = map[string]*armedFault{}
+)
+
+// Set arms site with f, replacing any previous fault at that site.
+func Set(site string, f Fault) {
+	mu.Lock()
+	defer mu.Unlock()
+	rem := -1
+	if f.Count > 0 {
+		rem = f.Count
+	}
+	if _, ok := faults[site]; !ok {
+		armed.Add(1)
+	}
+	faults[site] = &armedFault{f: f, remaining: rem}
+}
+
+// Clear disarms site. Its fired count is discarded.
+func Clear(site string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := faults[site]; ok {
+		delete(faults, site)
+		armed.Add(-1)
+	}
+}
+
+// Reset disarms every site.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	for site := range faults {
+		delete(faults, site)
+		armed.Add(-1)
+	}
+}
+
+// Fired returns how many times the fault currently armed at site has
+// fired (0 when the site is not armed).
+func Fired(site string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if af, ok := faults[site]; ok {
+		return af.fired
+	}
+	return 0
+}
+
+// Fire applies the fault armed at site, if any: it sleeps Delay
+// (ctx-aware), then panics with Panic or returns Err. An exhausted
+// Count, an unarmed site, or a zero fault all return nil.
+func Fire(ctx context.Context, site string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	af, ok := faults[site]
+	if !ok || af.remaining == 0 {
+		mu.Unlock()
+		return nil
+	}
+	if af.remaining > 0 {
+		af.remaining--
+	}
+	af.fired++
+	f := af.f
+	mu.Unlock()
+
+	if f.Delay > 0 {
+		t := time.NewTimer(f.Delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+	}
+	if f.Panic != "" {
+		panic("faultinject: " + f.Panic)
+	}
+	return f.Err
+}

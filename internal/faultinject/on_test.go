@@ -1,0 +1,80 @@
+//go:build faultinject
+
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFireErrAndCount(t *testing.T) {
+	defer Reset()
+	want := errors.New("injected")
+	Set(SiteTrainStart, Fault{Err: want, Count: 2})
+
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if err := Fire(ctx, SiteTrainStart); !errors.Is(err, want) {
+			t.Fatalf("firing %d: Fire = %v, want %v", i, err, want)
+		}
+	}
+	// Count exhausted: the site goes inert but keeps its fired tally.
+	if err := Fire(ctx, SiteTrainStart); err != nil {
+		t.Fatalf("exhausted fault: Fire = %v, want nil", err)
+	}
+	if got := Fired(SiteTrainStart); got != 2 {
+		t.Fatalf("Fired = %d, want 2", got)
+	}
+	// Unarmed sites never fire.
+	if err := Fire(ctx, SiteReportStart); err != nil {
+		t.Fatalf("unarmed site: Fire = %v, want nil", err)
+	}
+}
+
+func TestFireDelayHonorsContext(t *testing.T) {
+	defer Reset()
+	Set(SiteRankPrefix, Fault{Delay: time.Hour})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := Fire(ctx, SiteRankPrefix)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Fire = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("canceled delay took %v, want prompt return", elapsed)
+	}
+}
+
+func TestFirePanics(t *testing.T) {
+	defer Reset()
+	Set(SiteEvaluateStart, Fault{Panic: "boom"})
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("Fire did not panic")
+		}
+	}()
+	_ = Fire(context.Background(), SiteEvaluateStart)
+}
+
+func TestClearAndReset(t *testing.T) {
+	Set(SiteTrainStart, Fault{Err: errors.New("x")})
+	Set(SiteReportStart, Fault{Err: errors.New("y")})
+	Clear(SiteTrainStart)
+	if err := Fire(context.Background(), SiteTrainStart); err != nil {
+		t.Fatalf("cleared site fired: %v", err)
+	}
+	Reset()
+	if err := Fire(context.Background(), SiteReportStart); err != nil {
+		t.Fatalf("reset site fired: %v", err)
+	}
+	if armed.Load() != 0 {
+		t.Fatalf("armed = %d after Reset, want 0", armed.Load())
+	}
+}

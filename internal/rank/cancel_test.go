@@ -1,0 +1,78 @@
+package rank
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// TestMergeTopKIntoCtxCancel pins the merge's cancellation contract: a
+// dead context abandons the merge at the first checkpoint with ok still
+// true — cancellation must never be mistaken for "merge declined" and
+// trigger the full-sort fallback, which would redo exactly the work the
+// caller is trying to stop.
+func TestMergeTopKIntoCtxCancel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d, base := comboCohort(t, rng, 500, 3, 2)
+	c := NewComboRuns(d, base, 0)
+	if c == nil {
+		t.Fatal("NewComboRuns declined")
+	}
+	bonus := []float64{1, 2, 0.5}
+	var scratch MergeScratch
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, ok, err := c.MergeTopKIntoCtx(ctx, bonus, Beneficial, 100, &scratch, make([]int, 0, 100), nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if !ok {
+		t.Error("ok = false on cancellation; cancellation must not read as a merge decline")
+	}
+	if out != nil {
+		t.Errorf("canceled merge returned a prefix of %d ids; want none", len(out))
+	}
+
+	// The same scratch answers the identical request after cancellation,
+	// bit-identical to the uncancelled call: abandoning a merge must not
+	// corrupt the reusable merge state.
+	want, ok, err := c.MergeTopKIntoCtx(context.Background(), bonus, Beneficial, 100, &scratch, make([]int, 0, 100), nil)
+	if err != nil || !ok {
+		t.Fatalf("post-cancel merge = (ok=%v, err=%v)", ok, err)
+	}
+	eff := EffectiveScoresAll(d, base, bonus, Beneficial, nil)
+	full := Order(eff)
+	for r := range want {
+		if want[r] != full[r] {
+			t.Fatalf("post-cancel merge rank %d: merge=%d full=%d", r, want[r], full[r])
+		}
+	}
+}
+
+// TestMergeTopKIntoCtxBackground pins that the context-aware entry with a
+// background context is bit-identical to MergeTopKInto.
+func TestMergeTopKIntoCtxBackground(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	d, base := comboCohort(t, rng, 300, 2, 3)
+	c := NewComboRuns(d, base, 0)
+	if c == nil {
+		t.Fatal("NewComboRuns declined")
+	}
+	bonus := []float64{4, 0.25}
+	var s1, s2 MergeScratch
+	a, okA := c.MergeTopKInto(bonus, Adverse, 150, &s1, make([]int, 0, 150), nil)
+	b, okB, err := c.MergeTopKIntoCtx(context.Background(), bonus, Adverse, 150, &s2, make([]int, 0, 150), nil)
+	if okA != okB || err != nil {
+		t.Fatalf("ok mismatch or error: okA=%v okB=%v err=%v", okA, okB, err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("length mismatch: %d vs %d", len(a), len(b))
+	}
+	for r := range a {
+		if a[r] != b[r] {
+			t.Fatalf("rank %d: %d vs %d", r, a[r], b[r])
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package rank
 
 import (
+	"context"
 	"math"
 	"slices"
 	"sort"
@@ -299,9 +300,27 @@ func (s *MergeScratch) pop(r int32, id int32) {
 // (non-finite offsets) and the caller must use the full-sort path;
 // dst is untouched in that case.
 func (c *ComboRuns) MergeTopKInto(bonus []float64, pol Polarity, k int, s *MergeScratch, dst []int, effOut []float64) ([]int, bool) {
+	// context.Background is never canceled, so the error is statically nil.
+	out, ok, _ := c.MergeTopKIntoCtx(context.Background(), bonus, pol, k, s, dst, effOut)
+	return out, ok
+}
+
+// mergeCheckInterval is the number of heap pops between cooperative
+// cancellation checkpoints in MergeTopKIntoCtx. It must be a power of two
+// (the checkpoint test is a bitmask) and is sized so the poll cost
+// disappears against the O(log g) sift of each pop.
+const mergeCheckInterval = 4096
+
+// MergeTopKIntoCtx is MergeTopKInto with cooperative cancellation: the
+// emit loop polls ctx every mergeCheckInterval pops and abandons the merge
+// with ctx's error once it is done. A non-nil error means neither dst nor
+// effOut hold a usable prefix; the caller must give up rather than fall
+// back to the full-sort path (ok is still true in that case — the merge
+// structure itself did not decline).
+func (c *ComboRuns) MergeTopKIntoCtx(ctx context.Context, bonus []float64, pol Polarity, k int, s *MergeScratch, dst []int, effOut []float64) ([]int, bool, error) {
 	checkK(c.n, k)
 	if !c.prepareOffsets(bonus, pol, s) {
-		return nil, false
+		return nil, false, nil
 	}
 	g := int32(len(c.reps))
 	for r := int32(0); r < g; r++ {
@@ -319,6 +338,11 @@ func (c *ComboRuns) MergeTopKInto(bonus []float64, pol Polarity, k int, s *Merge
 	}
 	out := dst[:0]
 	for len(out) < k {
+		if len(out)&(mergeCheckInterval-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, true, err
+			}
+		}
 		e := s.heap[0]
 		out = append(out, int(e.id))
 		if effOut != nil {
@@ -336,7 +360,7 @@ func (c *ComboRuns) MergeTopKInto(bonus []float64, pol Polarity, k int, s *Merge
 			s.siftDown(0)
 		}
 	}
-	return out, true
+	return out, true, nil
 }
 
 // siftDown restores the max-heap property downward from root.

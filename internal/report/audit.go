@@ -1,6 +1,7 @@
 package report
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
@@ -133,7 +134,12 @@ type Bundle struct {
 // margins for the boundary window. It is BuildBundleStats (one shared
 // rank-once BundleData pass) followed by FromStats (presentation).
 func BuildBundle(ev *core.Evaluator, cfg BundleConfig) (*Bundle, error) {
-	st, err := BuildBundleStats(ev, cfg)
+	return BuildBundleCtx(context.Background(), ev, cfg)
+}
+
+// BuildBundleCtx is BuildBundle with cooperative cancellation.
+func BuildBundleCtx(ctx context.Context, ev *core.Evaluator, cfg BundleConfig) (*Bundle, error) {
+	st, err := BuildBundleStatsCtx(ctx, ev, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -149,6 +155,13 @@ func BuildBundle(ev *core.Evaluator, cfg BundleConfig) (*Bundle, error) {
 // a dimensionality mismatch, a bad fraction, negative margins, and an FPR
 // request without outcomes are all rejected.
 func BuildBundleStats(ev *core.Evaluator, cfg BundleConfig) (*core.BundleStats, error) {
+	return BuildBundleStatsCtx(context.Background(), ev, cfg)
+}
+
+// BuildBundleStatsCtx is BuildBundleStats with cooperative cancellation:
+// once ctx is done the shared BundleData pass aborts at its next
+// checkpoint and the context's error is returned.
+func BuildBundleStatsCtx(ctx context.Context, ev *core.Evaluator, cfg BundleConfig) (*core.BundleStats, error) {
 	d := ev.Dataset()
 	if d.N() == 0 {
 		return nil, fmt.Errorf("report: cannot audit an empty dataset")
@@ -182,7 +195,7 @@ func BuildBundleStats(ev *core.Evaluator, cfg BundleConfig) (*core.BundleStats, 
 	if margins == 0 {
 		margins = DefaultMargins
 	}
-	return ev.BundleStats(core.BundleStatsConfig{
+	return ev.BundleStatsCtx(ctx, core.BundleStatsConfig{
 		Bonus:      cfg.Bonus,
 		K:          cfg.K,
 		Margins:    margins,

@@ -1,0 +1,74 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Admission-control defaults. MaxInFlight bounds concurrently admitted
+// /v1 requests; AdmitWait is how long an over-limit request queues for a
+// slot before it is shed with 429. The ceiling is deliberately generous —
+// admission control exists to keep an overloaded server answering
+// *something* (fast 429s instead of an unbounded goroutine pile-up), not
+// to pace normal traffic.
+const (
+	DefaultMaxInFlight = 1024
+	DefaultAdmitWait   = 50 * time.Millisecond
+)
+
+// errShed is the load-shed answer: the slot table is full and stayed full
+// for the whole admission wait. Transient by construction, hence the
+// Retry-After.
+var errShed = &httpError{
+	status:     http.StatusTooManyRequests,
+	msg:        "server at capacity; retry shortly",
+	retryAfter: 1,
+}
+
+// admission is a channel semaphore bounding in-flight /v1 requests. A
+// request either takes a slot immediately, waits up to wait for one, or
+// is shed. Slots are freed by release; len(slots) is the live in-flight
+// gauge.
+type admission struct {
+	slots chan struct{}
+	wait  time.Duration
+	shed  atomic.Int64
+}
+
+func newAdmission(max int, wait time.Duration) *admission {
+	return &admission{slots: make(chan struct{}, max), wait: wait}
+}
+
+// acquire takes an in-flight slot, queueing at most a.wait for one. It
+// returns errShed when the table stays full and the caller's context
+// error when the client gives up while queued.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if a.wait <= 0 {
+		a.shed.Add(1)
+		return errShed
+	}
+	t := time.NewTimer(a.wait)
+	defer t.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-t.C:
+		a.shed.Add(1)
+		return errShed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release frees a slot taken by acquire.
+func (a *admission) release() { <-a.slots }
+
+// inFlight reports the number of currently admitted requests.
+func (a *admission) inFlight() int { return len(a.slots) }

@@ -422,6 +422,11 @@ func reportKey(dataset string, bonus []float64, k float64, margins int, fpr bool
 type httpError struct {
 	status int
 	msg    string
+	// retryAfter, when positive, becomes a Retry-After header (seconds).
+	// Set on load-shed and drain rejections: those are transient by
+	// construction, and the header tells clients to back off instead of
+	// hammering a saturated server.
+	retryAfter int
 }
 
 func (e *httpError) Error() string { return e.msg }
@@ -490,12 +495,29 @@ type RankStatsInfo struct {
 	RankingCount int64 `json:"ranking_count"`
 }
 
-// HealthResponse is the /healthz body.
+// HealthResponse is the /healthz body: liveness plus the handful of
+// gauges the serve-smoke CI job and operators watch. Goroutines is the
+// leak canary — it must return to its baseline once in-flight work
+// drains.
 type HealthResponse struct {
 	Status        string `json:"status"`
 	UptimeMillis  int64  `json:"uptime_ms"`
 	Datasets      int    `json:"datasets"`
 	CachedResults int    `json:"cached_results"`
+	Goroutines    int    `json:"goroutines"`
+	InFlight      int    `json:"in_flight"`
+	ShedTotal     int64  `json:"shed_total"`
+	Draining      bool   `json:"draining"`
+}
+
+// ReadyResponse is the /readyz body. Ready means registration finished
+// (MarkReady was called) and the server is not draining; load balancers
+// route on it, so it flips to false at the first drain signal while
+// /healthz stays "ok" for the whole shutdown.
+type ReadyResponse struct {
+	Ready    bool `json:"ready"`
+	Draining bool `json:"draining"`
+	Datasets int  `json:"datasets"`
 }
 
 // ErrorResponse is every non-2xx JSON body.

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -30,15 +31,24 @@ type flight struct {
 
 // Do runs fn once per key among concurrent callers. It reports whether the
 // result was shared from another caller's execution.
-func (g *flightGroup) Do(key string, fn func() (any, error)) (val any, shared bool, err error) {
+//
+// ctx governs only the *waiting*: a follower whose own request is
+// canceled or times out stops waiting and gets its context error back,
+// while the leader keeps running for everyone else. The leader's fn sees
+// cancellation through whatever context fn itself captured.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() (any, error)) (val any, shared bool, err error) {
 	g.mu.Lock()
 	if g.m == nil {
 		g.m = make(map[string]*flight)
 	}
 	if f, ok := g.m[key]; ok {
 		g.mu.Unlock()
-		<-f.done
-		return f.val, true, f.err
+		select {
+		case <-f.done:
+			return f.val, true, f.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
 	}
 	f := &flight{done: make(chan struct{})}
 	g.m[key] = f

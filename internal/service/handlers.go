@@ -1,20 +1,28 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
 	"fairrank/internal/core"
+	"fairrank/internal/faultinject"
 	"fairrank/internal/metrics"
 	"fairrank/internal/rank"
 	"fairrank/internal/report"
 )
+
+// statusClientClosedRequest is nginx's 499: the client disconnected
+// before the response. Nobody reads the body, but access logs do, and it
+// keeps client-gone distinct from server-fault in the status counters.
+const statusClientClosedRequest = 499
 
 // maxBodyBytes bounds a request body; the largest legitimate payload (a
 // MaxSweepPoints evaluate sweep) stays well under it.
@@ -88,11 +96,12 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 
 	// Cold: coalesce concurrent identical requests so a thundering herd
 	// runs the pipeline once. Followers (shared=true) report Cached.
-	v, shared, err := s.flights.Do("train|"+key, func() (any, error) {
-		return s.runTrain(e, p, key)
+	ctx := r.Context()
+	v, shared, err := s.flights.Do(ctx, "train|"+key, func() (any, error) {
+		return s.runTrain(ctx, e, p, key)
 	})
 	if err != nil {
-		writeHTTPError(w, err)
+		writeHTTPError(w, r, err)
 		return
 	}
 	resp := v.(TrainResponse)
@@ -100,48 +109,90 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// writeHTTPError unwraps a status-carrying error from a coalesced
-// pipeline; anything else is an internal failure.
-func writeHTTPError(w http.ResponseWriter, err error) {
+// writeHTTPError maps a pipeline failure to a response. Status-carrying
+// errors answer with their own status (plus Retry-After when they say
+// so). Context errors are split by *whose* context died: the request's
+// own deadline is 504 and its own disconnect is 499, while a leader's
+// context error reaching a healthy follower through a coalesced flight is
+// 503 + Retry-After — the follower's retry will either find the cache
+// warm or become the new leader. Anything else is an internal failure.
+func writeHTTPError(w http.ResponseWriter, r *http.Request, err error) {
 	var he *httpError
 	if errors.As(err, &he) {
+		if he.retryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(he.retryAfter))
+		}
 		writeError(w, he.status, "%s", he.msg)
 		return
 	}
-	writeError(w, http.StatusInternalServerError, "%v", err)
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		if r.Context().Err() != nil {
+			writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
+			return
+		}
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "coalesced computation timed out; retry shortly")
+	case errors.Is(err, context.Canceled):
+		if r.Context().Err() != nil {
+			writeError(w, statusClientClosedRequest, "client closed request")
+			return
+		}
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "coalesced computation canceled; retry shortly")
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// pipelineErr classifies an error out of a compute pipeline: context
+// errors pass through untouched so writeHTTPError can apply the
+// cancellation mapping; anything else was the request's mistake (or, for
+// status 5xx, the server's) and is wrapped with the given status.
+func pipelineErr(err error, status int) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	return &httpError{status: status, msg: err.Error()}
 }
 
 // runTrain is the cold train pipeline: train, evaluate the diagnostics,
 // cache the response. It runs inside a flight; the leading cache re-check
 // closes the race where a request misses the LRU just as another flight
 // for the same key completes.
-func (s *Server) runTrain(e *Entry, p *trainParams, key string) (TrainResponse, error) {
+func (s *Server) runTrain(ctx context.Context, e *Entry, p *trainParams, key string) (TrainResponse, error) {
 	if v, ok := s.cache.get(key); ok {
 		resp := v.(TrainResponse)
 		resp.Cached = true
 		return resp, nil
 	}
+	if err := faultinject.Fire(ctx, faultinject.SiteTrainStart); err != nil {
+		return TrainResponse{}, err
+	}
 	s.trainExecs.Add(1)
 
 	opts := p.opts
 	opts.Polarity = e.pol
-	t := e.acquire()
+	t, err := e.acquire(ctx)
+	if err != nil {
+		return TrainResponse{}, err
+	}
 	var res core.Result
-	var err error
 	switch p.mode {
 	case ModeCore:
-		res, err = t.TrainCore(p.obj, opts)
+		res, err = t.TrainCoreCtx(ctx, p.obj, opts)
 	case ModeWhole:
-		res, err = t.TrainFull(p.obj, opts)
+		res, err = t.TrainFullCtx(ctx, p.obj, opts)
 	default:
-		res, err = t.Train(p.obj, opts)
+		res, err = t.TrainCtx(ctx, p.obj, opts)
 	}
 	e.release(t)
 	if err != nil {
-		// Training fails only on request/dataset mismatches the bind stage
-		// rejects (e.g. an outcome-dependent objective on an
-		// outcome-less dataset) — the caller's choice, not ours.
-		return TrainResponse{}, &httpError{http.StatusBadRequest, err.Error()}
+		// Training fails on request/dataset mismatches the bind stage
+		// rejects (e.g. an outcome-dependent objective on an outcome-less
+		// dataset) — the caller's choice, not ours — or on cancellation,
+		// which pipelineErr passes through for the context mapping.
+		return TrainResponse{}, pipelineErr(err, http.StatusBadRequest)
 	}
 
 	// The baseline disparity depends only on (dataset, k), not on the
@@ -153,19 +204,19 @@ func (s *Server) runTrain(e *Entry, p *trainParams, key string) (TrainResponse, 
 	if v, ok := s.cache.get(beforeKey); ok {
 		before = v.([]float64)
 	} else {
-		before, err = e.eval.Disparity(nil, p.req.K)
+		before, err = e.eval.DisparityCtx(ctx, nil, p.req.K)
 		if err != nil {
-			return TrainResponse{}, &httpError{http.StatusInternalServerError, fmt.Sprintf("evaluating trained vector: %v", err)}
+			return TrainResponse{}, pipelineErr(fmt.Errorf("evaluating trained vector: %w", err), http.StatusInternalServerError)
 		}
 		s.cache.put(beforeKey, before)
 	}
-	after, err := e.eval.Disparity(res.Bonus, p.req.K)
+	after, err := e.eval.DisparityCtx(ctx, res.Bonus, p.req.K)
 	if err != nil {
-		return TrainResponse{}, &httpError{http.StatusInternalServerError, fmt.Sprintf("evaluating trained vector: %v", err)}
+		return TrainResponse{}, pipelineErr(fmt.Errorf("evaluating trained vector: %w", err), http.StatusInternalServerError)
 	}
-	ndcg, err := e.eval.NDCG(res.Bonus, p.req.K)
+	ndcg, err := e.eval.NDCGCtx(ctx, res.Bonus, p.req.K)
 	if err != nil {
-		return TrainResponse{}, &httpError{http.StatusInternalServerError, fmt.Sprintf("evaluating trained vector: %v", err)}
+		return TrainResponse{}, pipelineErr(fmt.Errorf("evaluating trained vector: %w", err), http.StatusInternalServerError)
 	}
 	resp := TrainResponse{
 		Dataset:         p.req.Dataset,
@@ -210,11 +261,12 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	}
 	// Coalesce concurrent identical sweeps; the leader probes the
 	// per-point cache and computes only the missing rows.
-	v, _, err := s.flights.Do(req.requestKey(), func() (any, error) {
-		return s.evaluateSweep(e, req)
+	ctx := r.Context()
+	v, _, err := s.flights.Do(ctx, req.requestKey(), func() (any, error) {
+		return s.evaluateSweep(ctx, e, req)
 	})
 	if err != nil {
-		writeHTTPError(w, err)
+		writeHTTPError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, v.(EvaluateResponse))
@@ -225,7 +277,10 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 // (dataset, metric, bonus bits, k bits), so any earlier sweep that covered
 // a point answers it — a subset of a cached k-grid costs len(points) map
 // lookups, and a widened grid ranks once for just the new cuts.
-func (s *Server) evaluateSweep(e *Entry, req EvaluateRequest) (EvaluateResponse, error) {
+func (s *Server) evaluateSweep(ctx context.Context, e *Entry, req EvaluateRequest) (EvaluateResponse, error) {
+	if err := faultinject.Fire(ctx, faultinject.SiteEvaluateStart); err != nil {
+		return EvaluateResponse{}, err
+	}
 	resp := EvaluateResponse{Dataset: req.Dataset, Metric: req.Metric, FairNames: e.d.FairNames()}
 	n := len(req.Points)
 	vector := req.Metric != "ndcg"
@@ -266,16 +321,19 @@ func (s *Server) evaluateSweep(e *Entry, req EvaluateRequest) (EvaluateResponse,
 		var err error
 		switch req.Metric {
 		case "disparity":
-			vecs, err = e.eval.DisparitySweep(pts)
+			vecs, err = e.eval.DisparitySweepCtx(ctx, pts)
 		case "di":
-			vecs, err = e.eval.DisparateImpactSweep(pts)
+			vecs, err = e.eval.DisparateImpactSweepCtx(ctx, pts)
 		case "fpr":
-			vecs, err = e.eval.FPRDiffSweep(pts)
+			vecs, err = e.eval.FPRDiffSweepCtx(ctx, pts)
 		case "ndcg":
-			vals, err = e.eval.NDCGSweep(pts)
+			vals, err = e.eval.NDCGSweepCtx(ctx, pts)
 		}
 		if err != nil {
-			return EvaluateResponse{}, &httpError{http.StatusBadRequest, err.Error()}
+			// Nothing is cached on failure: rows reach the LRU only below,
+			// after the whole sweep succeeded, so a canceled request cannot
+			// poison the per-point cache with partial results.
+			return EvaluateResponse{}, pipelineErr(err, http.StatusBadRequest)
 		}
 		for r, i := range missing {
 			if vector {
@@ -340,9 +398,14 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	exp, err := e.eval.Explain(bonus, k)
+	ctx := r.Context()
+	if err := faultinject.Fire(ctx, faultinject.SiteExplainStart); err != nil {
+		writeHTTPError(w, r, err)
+		return
+	}
+	exp, err := e.eval.ExplainCtx(ctx, bonus, k)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeHTTPError(w, r, pipelineErr(err, http.StatusBadRequest))
 		return
 	}
 	resp := ExplainResponse{
@@ -405,11 +468,12 @@ func (s *Server) handleCounterfactual(w http.ResponseWriter, r *http.Request) {
 	}
 	// Coalesce concurrent identical requests; the leader probes the
 	// per-object cache and ranks only when objects are missing.
-	v, _, err := s.flights.Do(req.requestKey(), func() (any, error) {
-		return s.runCounterfactual(e, req)
+	ctx := r.Context()
+	v, _, err := s.flights.Do(ctx, req.requestKey(), func() (any, error) {
+		return s.runCounterfactual(ctx, e, req)
 	})
 	if err != nil {
-		writeHTTPError(w, err)
+		writeHTTPError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, v.(CounterfactualResponse))
@@ -420,7 +484,10 @@ func (s *Server) handleCounterfactual(w http.ResponseWriter, r *http.Request) {
 // each (dataset, bonus, k, object) answer is its own LRU entry, so any
 // earlier request that covered an object answers it regardless of how the
 // object lists were batched.
-func (s *Server) runCounterfactual(e *Entry, req CounterfactualRequest) (CounterfactualResponse, error) {
+func (s *Server) runCounterfactual(ctx context.Context, e *Entry, req CounterfactualRequest) (CounterfactualResponse, error) {
+	if err := faultinject.Fire(ctx, faultinject.SiteCounterfactualStart); err != nil {
+		return CounterfactualResponse{}, err
+	}
 	resp := CounterfactualResponse{
 		Dataset:   req.Dataset,
 		K:         req.K,
@@ -447,9 +514,11 @@ func (s *Server) runCounterfactual(e *Entry, req CounterfactualRequest) (Counter
 		for r, i := range missing {
 			objs[r] = req.Objects[i]
 		}
-		cfs, err := e.eval.CounterfactualBatch(req.Bonus, req.K, objs)
+		cfs, err := e.eval.CounterfactualBatchCtx(ctx, req.Bonus, req.K, objs)
 		if err != nil {
-			return CounterfactualResponse{}, &httpError{http.StatusBadRequest, err.Error()}
+			// As with sweeps, per-object rows are cached only after the
+			// whole batch succeeded — cancellation leaves the cache clean.
+			return CounterfactualResponse{}, pipelineErr(err, http.StatusBadRequest)
 		}
 		for r, i := range missing {
 			res := toCounterfactualResult(cfs[r])
@@ -547,17 +616,21 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := reportKey(e.name, bonus, k, margins, includeFPR)
+	ctx := r.Context()
 	v, ok2 := s.cache.get(key)
 	if !ok2 {
-		v, _, err = s.flights.Do(key, func() (any, error) {
+		v, _, err = s.flights.Do(ctx, key, func() (any, error) {
 			if v, ok := s.cache.get(key); ok {
 				return v, nil
+			}
+			if err := faultinject.Fire(ctx, faultinject.SiteReportStart); err != nil {
+				return nil, err
 			}
 			s.reportExecs.Add(1)
 			// One rank-once BundleData pass yields both the bundle and the
 			// margin counterfactuals; the latter seed the per-object cache
 			// so /v1/counterfactual shares the work wherever keys coincide.
-			st, err := report.BuildBundleStats(e.eval, report.BundleConfig{
+			st, err := report.BuildBundleStatsCtx(ctx, e.eval, report.BundleConfig{
 				Dataset:    e.name,
 				Bonus:      bonus,
 				K:          k,
@@ -566,8 +639,11 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 			})
 			if err != nil {
 				// Build rejections are request mistakes (bad fraction,
-				// zero policy, FPR without outcomes), not server faults.
-				return nil, &httpError{http.StatusBadRequest, err.Error()}
+				// zero policy, FPR without outcomes), not server faults;
+				// cancellation passes through to the context mapping. The
+				// bundle and the margin seeds reach the cache only on
+				// success, so an abandoned build caches nothing.
+				return nil, pipelineErr(err, http.StatusBadRequest)
 			}
 			b := report.FromStats(e.eval, e.name, st)
 			s.cache.put(key, b)
@@ -575,7 +651,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 			return b, nil
 		})
 		if err != nil {
-			writeHTTPError(w, err)
+			writeHTTPError(w, r, err)
 			return
 		}
 	}
@@ -647,10 +723,32 @@ func rankStatsInfo(eval *core.Evaluator) *RankStatsInfo {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{
+	resp := HealthResponse{
 		Status:        "ok",
 		UptimeMillis:  time.Since(s.start).Milliseconds(),
 		Datasets:      s.reg.Len(),
 		CachedResults: s.cache.len(),
-	})
+		Goroutines:    runtime.NumGoroutine(),
+		Draining:      s.draining.Load(),
+	}
+	if s.admit != nil {
+		resp.InFlight = s.admit.inFlight()
+		resp.ShedTotal = s.admit.shed.Load()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleReady serves GET /readyz: 200 once registration finished and
+// until the drain starts, 503 otherwise. Liveness stays on /healthz.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	resp := ReadyResponse{
+		Ready:    s.ready.Load() && !s.draining.Load(),
+		Draining: s.draining.Load(),
+		Datasets: s.reg.Len(),
+	}
+	status := http.StatusOK
+	if !resp.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
 }

@@ -1,11 +1,14 @@
 package service
 
 import (
+	"context"
 	"fmt"
+	"net/http"
 	"sync"
 
 	"fairrank/internal/core"
 	"fairrank/internal/dataset"
+	"fairrank/internal/faultinject"
 	"fairrank/internal/rank"
 )
 
@@ -28,6 +31,29 @@ type Entry struct {
 	// one workspace allocation each, never an O(n) rescore.
 	proto *core.Trainer
 	pool  chan *core.Trainer
+
+	// live is the in-flight trainer token table (liveTrainerCap).
+	// acquire takes a token before handing out a trainer (pooled or
+	// cloned), so the total number of live trainers per dataset — and
+	// with it the clone fallback's memory — is bounded; beyond the cap,
+	// requests are shed with 503 instead of cloning without limit.
+	live chan struct{}
+}
+
+// minLiveTrainers floors the live-trainer cap. The cap exists to stop a
+// request storm from cloning trainers (each an O(n) workspace) without
+// limit, not to serialize modest concurrency: on a small-GOMAXPROCS box
+// 2×poolSize would shed a handful of concurrent distinct what-if
+// queries that the box can happily interleave.
+const minLiveTrainers = 16
+
+// liveTrainerCap is the per-dataset bound on concurrently-out trainers:
+// 2×poolSize, floored at minLiveTrainers.
+func liveTrainerCap(poolSize int) int {
+	if c := 2 * poolSize; c > minLiveTrainers {
+		return c
+	}
+	return minLiveTrainers
 }
 
 // Name returns the registry key.
@@ -42,23 +68,46 @@ func (e *Entry) Polarity() rank.Polarity { return e.pol }
 // Evaluator returns the shared concurrent evaluator.
 func (e *Entry) Evaluator() *core.Evaluator { return e.eval }
 
-// acquire hands out a trainer for exclusive use; pair with release.
-func (e *Entry) acquire() *core.Trainer {
+// errTrainersBusy is the answer when a dataset's live-trainer table is
+// full: every pooled trainer and every allowed clone is mid-train.
+// Transient — a train finishes within one deadline — hence Retry-After.
+var errTrainersBusy = &httpError{
+	status:     http.StatusServiceUnavailable,
+	msg:        "all trainers busy; retry shortly",
+	retryAfter: 1,
+}
+
+// acquire hands out a trainer for exclusive use; pair with release. The
+// idle pool answers first; when it is empty the prototype is cloned, but
+// only while a live token is available — at most liveTrainerCap trainers
+// exist at once, and requests beyond that are shed with errTrainersBusy
+// rather than cloning unboundedly under a request storm.
+func (e *Entry) acquire(ctx context.Context) (*core.Trainer, error) {
+	if err := faultinject.Fire(ctx, faultinject.SiteTrainerAcquire); err != nil {
+		return nil, err
+	}
+	select {
+	case e.live <- struct{}{}:
+	default:
+		return nil, errTrainersBusy
+	}
 	select {
 	case t := <-e.pool:
-		return t
+		return t, nil
 	default:
-		return e.proto.Clone()
+		return e.proto.Clone(), nil
 	}
 }
 
 // release returns a trainer to the idle pool, dropping it when the pool
-// is full (the workspace is garbage; base scores are shared with proto).
+// is full (the workspace is garbage; base scores are shared with proto),
+// and frees the live token taken by acquire.
 func (e *Entry) release(t *core.Trainer) {
 	select {
 	case e.pool <- t:
 	default:
 	}
+	<-e.live
 }
 
 // Registry maps dataset names to entries. Registration happens at startup
@@ -99,6 +148,7 @@ func (r *Registry) Register(name string, d *dataset.Dataset, scorer rank.Scorer,
 		eval:   core.NewEvaluator(d, scorer, pol),
 		proto:  core.NewTrainer(d, scorer),
 		pool:   make(chan *core.Trainer, r.poolSize),
+		live:   make(chan struct{}, liveTrainerCap(r.poolSize)),
 	}
 	r.order = append(r.order, name)
 	return nil

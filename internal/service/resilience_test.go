@@ -1,0 +1,398 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"fairrank/internal/rank"
+	"fairrank/internal/synth"
+)
+
+// resilienceServer builds a Server with tight, test-friendly resilience
+// settings without starting a listener; requests go straight through
+// Handler so tests can use cancelable request contexts.
+func resilienceServer(t testing.TB, cfg Config) *Server {
+	t.Helper()
+	school, err := synth.GenerateSchool(schoolConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(cfg)
+	if err := s.Register("school", school, rank.WeightedSum{Weights: synth.SchoolScoreWeights()}, rank.Beneficial); err != nil {
+		t.Fatal(err)
+	}
+	s.MarkReady()
+	return s
+}
+
+func doRequest(h http.Handler, r *http.Request) *httptest.ResponseRecorder {
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	return w
+}
+
+func sweepBody(t testing.TB, points int) *strings.Reader {
+	t.Helper()
+	req := EvaluateRequest{Dataset: "school", Metric: "disparity"}
+	for i := 0; i < points; i++ {
+		// Every point gets a distinct bonus so nothing shares a ranking:
+		// the sweep has real work to abandon.
+		req.Points = append(req.Points, SweepPointRequest{
+			Bonus: []float64{float64(i%97) / 7, float64(i%89) / 5, float64(i%83) / 3, float64(i % 79)},
+			K:     0.05,
+		})
+	}
+	raw, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.NewReader(string(raw))
+}
+
+// TestAdmissionShed pins the 429 path: with the slot table filled, a /v1
+// request is shed with 429 and a Retry-After header, and freeing a slot
+// reopens admission.
+func TestAdmissionShed(t *testing.T) {
+	s := resilienceServer(t, Config{MaxInFlight: 1, AdmitWait: -1})
+	h := s.Handler()
+
+	s.admit.slots <- struct{}{} // occupy the only slot
+	r := httptest.NewRequest("GET", "/v1/explain?dataset=school&k=0.05&bonus=1,1,1,1", nil)
+	w := doRequest(h, r)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429; body %s", w.Code, w.Body)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	<-s.admit.slots // free it
+	if w := doRequest(h, r); w.Code != http.StatusOK {
+		t.Fatalf("after freeing the slot: status = %d, body %s", w.Code, w.Body)
+	}
+	if got := s.admit.shed.Load(); got != 1 {
+		t.Errorf("shed counter = %d, want 1", got)
+	}
+}
+
+// TestAdmitWaitRidesOutShortBursts: a request arriving while the table is
+// briefly full waits (up to AdmitWait) instead of shedding.
+func TestAdmitWaitRidesOutShortBursts(t *testing.T) {
+	s := resilienceServer(t, Config{MaxInFlight: 1, AdmitWait: 2 * time.Second})
+	h := s.Handler()
+	s.admit.slots <- struct{}{}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		<-s.admit.slots
+	}()
+	r := httptest.NewRequest("GET", "/v1/explain?dataset=school&k=0.05&bonus=1,1,1,1", nil)
+	if w := doRequest(h, r); w.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200 after the slot freed within AdmitWait; body %s", w.Code, w.Body)
+	}
+}
+
+// TestDrainRejectsNewWork pins the drain contract: after StartDrain, /v1
+// requests answer 503 + Retry-After, /readyz flips to 503, and /healthz
+// keeps answering 200 (liveness is not readiness).
+func TestDrainRejectsNewWork(t *testing.T) {
+	s := resilienceServer(t, Config{})
+	h := s.Handler()
+
+	var ready ReadyResponse
+	w := doRequest(h, httptest.NewRequest("GET", "/readyz", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("/readyz before drain = %d", w.Code)
+	}
+	s.StartDrain()
+	w = doRequest(h, httptest.NewRequest("GET", "/v1/datasets", nil))
+	if w.Code != http.StatusOK {
+		t.Errorf("/v1/datasets is unguarded and must keep answering during drain; got %d", w.Code)
+	}
+	w = doRequest(h, httptest.NewRequest("GET", "/v1/explain?dataset=school&k=0.05&bonus=1,1,1,1", nil))
+	if w.Code != http.StatusServiceUnavailable || w.Header().Get("Retry-After") == "" {
+		t.Errorf("guarded endpoint during drain = %d (Retry-After %q), want 503 with Retry-After",
+			w.Code, w.Header().Get("Retry-After"))
+	}
+	w = doRequest(h, httptest.NewRequest("GET", "/readyz", nil))
+	if w.Code != http.StatusServiceUnavailable {
+		t.Errorf("/readyz during drain = %d, want 503", w.Code)
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &ready); err != nil {
+		t.Fatal(err)
+	}
+	if ready.Ready || !ready.Draining {
+		t.Errorf("readyz body = %+v, want ready=false draining=true", ready)
+	}
+	var health HealthResponse
+	w = doRequest(h, httptest.NewRequest("GET", "/healthz", nil))
+	if w.Code != http.StatusOK {
+		t.Errorf("/healthz during drain = %d, want 200", w.Code)
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if !health.Draining {
+		t.Error("healthz body does not report draining")
+	}
+}
+
+// TestReadyzBeforeMarkReady: a server that has not finished registration
+// is not ready.
+func TestReadyzBeforeMarkReady(t *testing.T) {
+	s := New(Config{})
+	w := doRequest(s.Handler(), httptest.NewRequest("GET", "/readyz", nil))
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz before MarkReady = %d, want 503", w.Code)
+	}
+	s.MarkReady()
+	if w := doRequest(s.Handler(), httptest.NewRequest("GET", "/readyz", nil)); w.Code != http.StatusOK {
+		t.Fatalf("/readyz after MarkReady = %d, want 200", w.Code)
+	}
+}
+
+// TestPanicRecovery pins the recovery middleware: a panicking handler
+// answers 500 with the JSON error contract, the panic counter moves, and
+// the server keeps serving afterwards.
+func TestPanicRecovery(t *testing.T) {
+	s := resilienceServer(t, Config{})
+	boom := s.recovered(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	}))
+	w := doRequest(boom, httptest.NewRequest("GET", "/v1/anything", nil))
+	if w.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler answered %d, want 500", w.Code)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil || er.Error == "" {
+		t.Errorf("panic response is not the JSON error contract: %q (%v)", w.Body, err)
+	}
+	if s.panics.Load() != 1 {
+		t.Errorf("panic counter = %d, want 1", s.panics.Load())
+	}
+	// The real handler chain still works on the same server.
+	if w := doRequest(s.Handler(), httptest.NewRequest("GET", "/healthz", nil)); w.Code != http.StatusOK {
+		t.Fatalf("healthz after a recovered panic = %d", w.Code)
+	}
+}
+
+// TestFlightLeaderPanicAnswersFollowers pins the panic contract through
+// coalescing: when a flight leader panics, followers get a 500 (not a
+// hang) and the leader's panic is converted by the recovery middleware.
+func TestFlightLeaderPanicAnswersFollowers(t *testing.T) {
+	var g flightGroup
+	leaderStarted := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan struct{})
+
+	go func() {
+		defer close(leaderDone)
+		defer func() { _ = recover() }() // stand-in for the middleware
+		_, _, _ = g.Do(context.Background(), "k", func() (any, error) {
+			close(leaderStarted)
+			<-release
+			panic("leader died")
+		})
+	}()
+	<-leaderStarted
+
+	// Grab the registered flight directly — this is exactly the handle a
+	// follower parked in Do's select holds — so the waiter-release
+	// assertion cannot race the leader's cleanup.
+	g.mu.Lock()
+	f := g.m["k"]
+	g.mu.Unlock()
+	if f == nil {
+		t.Fatal("leader running but no flight registered")
+	}
+
+	close(release)
+	<-leaderDone
+	select {
+	case <-f.done:
+	default:
+		t.Fatal("leader panic did not release waiters: flight still open")
+	}
+	if f.err == nil || !strings.Contains(f.err.Error(), "coalesced request failed") {
+		t.Fatalf("waiters see err = %v, want coalesced-request failure", f.err)
+	}
+	// The dead flight is gone: a late arrival re-runs as a fresh leader.
+	_, shared, err := g.Do(context.Background(), "k", func() (any, error) { return "fresh", nil })
+	if shared || err != nil {
+		t.Fatalf("late arrival after leader panic = (shared=%v, err=%v), want fresh leader", shared, err)
+	}
+}
+
+// TestClientDisconnectMidSweep is the tentpole's end-to-end check: a
+// client abandons a large distinct-bonus sweep mid-computation; the
+// handler returns 499 promptly, and the per-point cache is not poisoned —
+// the identical re-request recomputes from scratch (zero cached points)
+// and succeeds.
+func TestClientDisconnectMidSweep(t *testing.T) {
+	school, err := synth.GenerateSchool(func() synth.SchoolConfig {
+		cfg := synth.DefaultSchoolConfig()
+		cfg.N = 8000
+		cfg.Seed = 42
+		return cfg
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{})
+	if err := s.Register("school", school, rank.WeightedSum{Weights: synth.SchoolScoreWeights()}, rank.Beneficial); err != nil {
+		t.Fatal(err)
+	}
+	s.MarkReady()
+	h := s.Handler()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	r := httptest.NewRequest("POST", "/v1/evaluate", sweepBody(t, 512)).WithContext(ctx)
+	done := make(chan *httptest.ResponseRecorder, 1)
+	go func() { done <- doRequest(h, r) }()
+
+	// Cancel once the cold sweep has demonstrably started computing, so
+	// the abandonment is mid-flight, not before or after.
+	for i := 0; s.sweepExecs.Load() == 0; i++ {
+		if i > 10_000 {
+			t.Fatal("sweep never started")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancel()
+	var w *httptest.ResponseRecorder
+	select {
+	case w = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("handler did not return after client disconnect")
+	}
+	if w.Code == http.StatusOK {
+		t.Skip("sweep finished before the cancellation landed; nothing to assert")
+	}
+	if w.Code != statusClientClosedRequest {
+		t.Fatalf("abandoned sweep answered %d (%s), want 499", w.Code, w.Body)
+	}
+	if got := s.cache.len(); got != 0 {
+		t.Fatalf("canceled sweep poisoned the cache with %d entries", got)
+	}
+
+	// The identical request must now recompute everything and succeed.
+	w = doRequest(h, httptest.NewRequest("POST", "/v1/evaluate", sweepBody(t, 512)))
+	if w.Code != http.StatusOK {
+		t.Fatalf("re-request after disconnect = %d (%s)", w.Code, w.Body)
+	}
+	var resp EvaluateResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.CachedPoints != 0 {
+		t.Errorf("re-request found %d cached points from the canceled attempt", resp.CachedPoints)
+	}
+	if len(resp.Vectors) != 512 {
+		t.Errorf("re-request returned %d vectors, want 512", len(resp.Vectors))
+	}
+}
+
+// TestReportPreCanceledNotCached: a report request whose context is
+// already dead answers 499 and caches nothing; the retry rebuilds and
+// succeeds.
+func TestReportPreCanceledNotCached(t *testing.T) {
+	s := resilienceServer(t, Config{})
+	h := s.Handler()
+	const url = "/v1/report?dataset=school&k=0.05&bonus=1,11.5,12,12"
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	w := doRequest(h, httptest.NewRequest("GET", url, nil).WithContext(ctx))
+	if w.Code != statusClientClosedRequest {
+		t.Fatalf("pre-canceled report = %d (%s), want 499", w.Code, w.Body)
+	}
+	if got := s.cache.len(); got != 0 {
+		t.Fatalf("canceled report build left %d cache entries", got)
+	}
+	w = doRequest(h, httptest.NewRequest("GET", url, nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("report retry = %d (%s)", w.Code, w.Body)
+	}
+	if s.reportExecs.Load() < 1 {
+		t.Error("retry did not run the cold build")
+	}
+}
+
+// TestTrainSheds503WhenTrainersExhausted: with every live-trainer token
+// taken, a train request answers 503 + Retry-After end to end.
+func TestTrainSheds503WhenTrainersExhausted(t *testing.T) {
+	s := resilienceServer(t, Config{TrainerPoolSize: 1})
+	h := s.Handler()
+	e, ok := s.reg.Get("school")
+	if !ok {
+		t.Fatal("school not registered")
+	}
+	for i := 0; i < cap(e.live); i++ { // exhaust both live tokens
+		e.live <- struct{}{}
+	}
+	body := `{"dataset":"school","k":0.05}`
+	w := doRequest(h, httptest.NewRequest("POST", "/v1/train", strings.NewReader(body)))
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("train with exhausted trainers = %d (%s), want 503", w.Code, w.Body)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+	for i := 0; i < cap(e.live); i++ {
+		<-e.live
+	}
+	w = doRequest(h, httptest.NewRequest("POST", "/v1/train", strings.NewReader(body)))
+	if w.Code != http.StatusOK {
+		t.Fatalf("train after freeing trainers = %d (%s)", w.Code, w.Body)
+	}
+}
+
+// TestDeadlineMapsTo504: an endpoint deadline that cannot possibly be met
+// answers 504 — the request's own deadline, not a coalescing artifact.
+func TestDeadlineMapsTo504(t *testing.T) {
+	s := resilienceServer(t, Config{Timeouts: Timeouts{Evaluate: time.Nanosecond}})
+	w := doRequest(s.Handler(), httptest.NewRequest("POST", "/v1/evaluate", sweepBody(t, 8)))
+	if w.Code != http.StatusGatewayTimeout {
+		t.Fatalf("hopeless deadline answered %d (%s), want 504", w.Code, w.Body)
+	}
+}
+
+// TestGoroutineBaseline pins the no-leak property: after a burst of
+// completed, canceled, and shed requests, the goroutine count settles
+// back to its pre-burst baseline.
+func TestGoroutineBaseline(t *testing.T) {
+	s := resilienceServer(t, Config{MaxInFlight: 4, AdmitWait: time.Millisecond})
+	h := s.Handler()
+
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+
+	for i := 0; i < 20; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		r := httptest.NewRequest("POST", "/v1/evaluate", sweepBody(t, 64)).WithContext(ctx)
+		done := make(chan struct{})
+		go func() { doRequest(h, r); close(done) }()
+		if i%2 == 0 {
+			cancel()
+		}
+		<-done
+		cancel()
+		doRequest(h, httptest.NewRequest("GET", "/v1/explain?dataset=school&k=0.05&bonus=1,1,1,1", nil))
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle: baseline %d, now %d", baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -504,17 +505,36 @@ func TestRegistry(t *testing.T) {
 	}
 	// Pool: a released trainer is handed back out; beyond capacity,
 	// trainers are dropped rather than blocking.
-	t1, t2, t3 := e.acquire(), e.acquire(), e.acquire()
+	ctx := context.Background()
+	mustAcquire := func() *core.Trainer {
+		t.Helper()
+		tr, err := e.acquire(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	t1, t2, t3 := mustAcquire(), mustAcquire(), mustAcquire()
 	e.release(t1)
 	e.release(t2)
 	e.release(t3) // pool cap 2: dropped, must not block
-	if got := e.acquire(); got != t1 {
+	if got := mustAcquire(); got != t1 {
 		t.Error("pool did not return the first released trainer")
 	}
-	if got := e.acquire(); got != t2 {
+	if got := mustAcquire(); got != t2 {
 		t.Error("pool did not return the second released trainer")
 	}
-	if got := e.acquire(); got == t3 {
+	if got := mustAcquire(); got == t3 {
 		t.Error("over-capacity trainer was retained")
 	}
+	// Live bound: with every token in the table taken, the next acquire
+	// is shed, and freeing one token reopens admission.
+	for len(e.live) < cap(e.live) {
+		e.live <- struct{}{}
+	}
+	if _, err := e.acquire(ctx); err != errTrainersBusy {
+		t.Errorf("over-bound acquire returned %v, want errTrainersBusy", err)
+	}
+	<-e.live
+	e.release(mustAcquire())
 }

@@ -10,7 +10,9 @@
 #      documented in both README.md and docs/ARCHITECTURE.md;
 #   4. an internal package has no doc.go package comment;
 #   5. an analyzer registered in tools/fairlint's Suite() is missing a
-#      row in the docs/ARCHITECTURE.md "Enforced invariants" table.
+#      row in the docs/ARCHITECTURE.md "Enforced invariants" table;
+#   6. a fault-injection site in internal/faultinject/sites.go is missing
+#      a row in the docs/ARCHITECTURE.md "Fault injection" hook map.
 set -u
 cd "$(dirname "$0")/.."
 fail=0
@@ -77,6 +79,15 @@ if [ -d tools/fairlint ]; then
 else
     err "tools/fairlint does not exist"
 fi
+
+# 6. Every fault-injection site constant has a row in the
+#    ARCHITECTURE.md "Fault injection" hook map (| `site.name` | ...).
+sites=$(grep -o '= "[a-z]*\.[a-z]*"' internal/faultinject/sites.go | tr -d '="' | tr -d ' ')
+[ -n "$sites" ] || err "found no site constants in internal/faultinject/sites.go"
+for site in $sites; do
+    grep -q "^| \`$site\` |" docs/ARCHITECTURE.md \
+        || err "faultinject site $site has no row in the ARCHITECTURE.md hook map"
+done
 
 if [ "$fail" -ne 0 ]; then
     exit 1
