@@ -65,6 +65,8 @@ func main() {
 		explainTO = flag.Duration("explain-timeout", 0, "deadline for GET /v1/explain (0 = -timeout)")
 		maxInFl   = flag.Int("max-inflight", 0, "max concurrently admitted /v1 requests (0 = default, negative disables admission control)")
 		admitWait = flag.Duration("admit-wait", 0, "how long an over-limit request queues before a 429 (0 = default, negative sheds immediately)")
+		batchSize = flag.Int("batch-size", 0, "micro-batch size threshold for concurrent same-bonus requests (0 = disabled unless -batch-wait is set)")
+		batchWait = flag.Duration("batch-wait", 0, "micro-batch window: how long a request waits for same-bonus companions (0 = disabled unless -batch-size is set)")
 		drainTO   = flag.Duration("drain-timeout", 15*time.Second, "graceful-shutdown budget for in-flight requests")
 		csvs      = make(map[string]string)
 		csvOrder  []string // flag order, so registration and listings are stable
@@ -119,9 +121,11 @@ func main() {
 		return *timeout
 	}
 	s := fairrank.NewService(fairrank.ServiceConfig{
-		CacheSize:   *cacheSize,
-		MaxInFlight: *maxInFl,
-		AdmitWait:   *admitWait,
+		CacheSize:    *cacheSize,
+		MaxInFlight:  *maxInFl,
+		AdmitWait:    *admitWait,
+		BatchSize:    *batchSize,
+		BatchMaxWait: *batchWait,
 		Timeouts: fairrank.ServiceTimeouts{
 			Train:          endpointTO(*trainTO),
 			Evaluate:       endpointTO(*evalTO),

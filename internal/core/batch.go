@@ -1,0 +1,549 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"slices"
+	"sort"
+
+	"fairrank/internal/engine"
+	"fairrank/internal/faultinject"
+	"fairrank/internal/metrics"
+	"fairrank/internal/rank"
+)
+
+// Cross-request batch pass. Because bonus points enter the effective
+// score additively (Definition 2), the ranked order under a (dataset,
+// bonus) pair does not depend on the selection fraction, the metric, or
+// the object ids being asked about — so any number of concurrent
+// requests that share a bonus vector are answerable from ONE ranked
+// prefix sized to their maximum cut. AnswerBatch is that entry point:
+// the service micro-batcher collects heterogeneous (k, ids, metric)
+// queries behind one window and this pass answers them all.
+//
+// Every answer is bit-identical to the corresponding per-request
+// evaluator (the sweep engines, CounterfactualBatch, BundleStats): the
+// prefix aggregates resume the same left-to-right folds over the same
+// total order — a fold's value at a cut does not depend on which other
+// cuts share the grid — and the counterfactual and bundle finishers are
+// the same functions the per-request paths call. The batching-equivalence
+// suites (core batch_test.go, service batch_differential_test.go) pin
+// this byte-for-byte.
+
+// BatchKind selects what one BatchQuery asks of the shared pass.
+type BatchKind int
+
+const (
+	// BatchDisparity asks for the full-population disparity vector of the
+	// top-K selection.
+	BatchDisparity BatchKind = iota
+	// BatchNDCG asks for the utility retained at fraction K.
+	BatchNDCG
+	// BatchDisparateImpact asks for the scaled disparate-impact vector of
+	// the top-K selection.
+	BatchDisparateImpact
+	// BatchFPRDiff asks for the per-group FPR difference vector of the
+	// top-K selection; the dataset must carry outcomes.
+	BatchFPRDiff
+	// BatchCounterfactual asks for the minimal flip deltas of Objects at
+	// fraction K.
+	BatchCounterfactual
+	// BatchBundle asks for a full BundleStats audit pass; Bundle carries
+	// the config, whose bonus must canonically equal the batch's.
+	BatchBundle
+)
+
+// BatchQuery is one member request of a shared-bonus batch.
+type BatchQuery struct {
+	Kind BatchKind
+	// K is the selection fraction (unused by BatchBundle, which reads
+	// Bundle.K).
+	K float64
+	// Objects are the ids a BatchCounterfactual query explains.
+	Objects []int
+	// Bundle parameterizes a BatchBundle query.
+	Bundle *BundleStatsConfig
+}
+
+// BatchAnswer is one query's result. Exactly one payload field is set,
+// matching the query kind — unless Err is set, which carries the
+// data-dependent failures the per-request path reports per point
+// (metrics.ErrZeroIdealDCG): a bad query never poisons its batchmates.
+type BatchAnswer struct {
+	// Vector holds disparity / disparate-impact / FPR-difference rows.
+	Vector []float64
+	// Value holds the nDCG scalar.
+	Value float64
+	// Counterfactuals holds a BatchCounterfactual query's results.
+	Counterfactuals []Counterfactual
+	// Bundle holds a BatchBundle query's results.
+	Bundle *BundleStats
+	// Err is the query's own failure; the other fields are zero.
+	Err error
+}
+
+// batchGeom is the per-query pass geometry resolved during validation.
+type batchGeom struct {
+	cut     int // leading positions of the shared order this query reads
+	cnt     int // selection count (all kinds but BatchNDCG)
+	ndcgCut int // bundle utility cut
+}
+
+// AnswerBatch answers every query from one shared ranked pass under the
+// bonus vector. See AnswerBatchCtx.
+func (e *Evaluator) AnswerBatch(bonus []float64, qs []BatchQuery) ([]BatchAnswer, error) {
+	return e.AnswerBatchCtx(context.Background(), bonus, qs)
+}
+
+// AnswerBatchCtx validates every query up front (a batch-wide error, so
+// the service layer can keep malformed requests out of the window), then
+// acquires one ranked prefix sized to the batch's maximum cut and answers
+// each query from it: metric queries through the sweep engine's prefix
+// folds over per-kind cut grids, counterfactual queries through the
+// combo-run rank lookups (merged pass) or the shared full order,
+// bundle queries through the BundleStats finishers plus one shared
+// leave-one-out fan. The ranking budget is one pass for the whole batch
+// — plus, when bundles are present, one leave-one-out prefix per
+// attribute with a non-zero bonus, shared across every bundle — instead
+// of one per request; a zero bonus is answered from the cached base
+// order for free.
+//
+// Cancellation is cooperative per PR 8's contract: ctx is the BATCH's
+// context, not any one caller's — the batcher cancels it only when every
+// member is gone, so one caller's disconnect never poisons the rest. A
+// non-nil error means no answers were produced.
+func (e *Evaluator) AnswerBatchCtx(ctx context.Context, bonus []float64, qs []BatchQuery) ([]BatchAnswer, error) {
+	if err := e.checkBonusDims(bonus); err != nil {
+		return nil, err
+	}
+	n := e.d.N()
+	if n == 0 {
+		return nil, fmt.Errorf("core: cannot evaluate an empty dataset")
+	}
+	if len(qs) == 0 {
+		return nil, nil
+	}
+	bonus = canonBonus(bonus)
+
+	geom := make([]batchGeom, len(qs))
+	maxCut := 0
+	hasCF := false
+	for i := range qs {
+		q := &qs[i]
+		g := &geom[i]
+		switch q.Kind {
+		case BatchDisparity, BatchDisparateImpact, BatchFPRDiff:
+			if q.Kind == BatchFPRDiff && !e.d.HasOutcomes() {
+				return nil, fmt.Errorf("core: FPR evaluation requires outcomes")
+			}
+			cnt, err := rank.SelectCount(n, q.K)
+			if err != nil {
+				return nil, fmt.Errorf("core: batch query %d (k=%g): %w", i, q.K, err)
+			}
+			g.cnt, g.cut = cnt, cnt
+		case BatchNDCG:
+			cut, err := metrics.PrefixCount(n, q.K)
+			if err != nil {
+				return nil, fmt.Errorf("core: batch query %d (k=%g): %w", i, q.K, err)
+			}
+			g.cut = cut
+		case BatchCounterfactual:
+			cnt, err := rank.SelectCount(n, q.K)
+			if err != nil {
+				return nil, fmt.Errorf("core: batch query %d (k=%g): %w", i, q.K, err)
+			}
+			for _, obj := range q.Objects {
+				if obj < 0 || obj >= n {
+					return nil, fmt.Errorf("core: batch query %d: object %d outside [0,%d)", i, obj, n)
+				}
+			}
+			g.cnt, g.cut = cnt, cnt
+			if cnt < n {
+				g.cut = cnt + 1 // the first excluded object is a boundary competitor too
+			}
+			hasCF = true
+		case BatchBundle:
+			b := q.Bundle
+			if b == nil {
+				return nil, fmt.Errorf("core: batch query %d: bundle query without a config", i)
+			}
+			if !slices.Equal(canonBonus(b.Bonus), bonus) {
+				return nil, fmt.Errorf("core: batch query %d: bundle bonus differs from the batch bonus", i)
+			}
+			if b.Margins < 0 {
+				return nil, fmt.Errorf("core: margin window %d is negative", b.Margins)
+			}
+			if b.IncludeFPR && !e.d.HasOutcomes() {
+				return nil, fmt.Errorf("core: FPR evaluation requires outcomes")
+			}
+			cnt, err := rank.SelectCount(n, b.K)
+			if err != nil {
+				return nil, fmt.Errorf("core: batch query %d (k=%g): %w", i, b.K, err)
+			}
+			ndcgCut, err := metrics.PrefixCount(n, b.K)
+			if err != nil {
+				return nil, fmt.Errorf("core: batch query %d (k=%g): %w", i, b.K, err)
+			}
+			g.cnt, g.ndcgCut = cnt, ndcgCut
+			p := cnt + b.Margins
+			if p > n {
+				p = n
+			}
+			g.cut = p
+			if ndcgCut > g.cut {
+				g.cut = ndcgCut
+			}
+		default:
+			return nil, fmt.Errorf("core: batch query %d: unknown kind %d", i, q.Kind)
+		}
+		if g.cut > maxCut {
+			maxCut = g.cut
+		}
+	}
+
+	ws := e.ws()
+	defer e.put(ws)
+
+	// One shared pass sized to the batch's maximum cut, routed exactly as
+	// rankedPrefixWS routes a single request — written out here because
+	// the counterfactual answers need to know WHICH route was taken: a
+	// merged prefix keeps the MergeScratch live for per-object RankOf
+	// lookups, while a non-merged pass with counterfactual queries must be
+	// a full order (arbitrary object ids live anywhere in it).
+	var (
+		order  []int
+		eff    []float64
+		merged bool
+	)
+	if bonus == nil {
+		// The cached uncompensated order answers the whole batch for free.
+		order, eff = e.origOrd, e.base
+	} else {
+		if err := faultinject.Fire(ctx, faultinject.SiteRankPrefix); err != nil {
+			return nil, err
+		}
+		if e.mergeEligible(maxCut) {
+			pre, ok, err := e.runs.MergeTopKIntoCtx(ctx, bonus, e.pol, maxCut, ws.Merge(), ws.Ord(maxCut), ws.Eff(n))
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				e.merges.Add(1)
+				order, eff, merged = pre, ws.Eff(n), true
+			}
+		}
+		if order == nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			eff = rank.EffectiveScores(e.d, e.base, e.all, bonus, e.pol, ws.Eff(n))
+			e.rankings.Add(1)
+			if hasCF || maxCut >= n/2 {
+				order = rank.OrderInto(eff, ws.Ord(n))
+			} else {
+				order = rank.TopKHeapInto(eff, maxCut, ws.Ord(maxCut))
+				rank.SortRanked(eff, order)
+			}
+		}
+	}
+
+	answers := make([]BatchAnswer, len(qs))
+	dims := e.d.NumFair()
+
+	// Metric queries: per-kind ascending cut grids through the exact
+	// prefix folds the sweep engine runs. A fold's value at a cut is
+	// independent of the rest of the grid, so sharing a grid (and a
+	// longer-than-necessary order) changes nothing bit-wise.
+	if idx, cuts, pos := batchGrid(qs, geom, BatchDisparity); len(idx) > 0 {
+		cent := metrics.PrefixCentroidInto(e.d, order, cuts, ws.Pop(), ws.Agg(len(cuts)*dims))
+		for r, qi := range idx {
+			row := cent[pos[r]*dims : (pos[r]+1)*dims]
+			dst := make([]float64, dims)
+			for j := range dst {
+				dst[j] = row[j] - e.centroid[j]
+			}
+			answers[qi].Vector = dst
+		}
+	}
+	if idx, cuts, pos := batchGrid(qs, geom, BatchNDCG); len(idx) > 0 {
+		nc := len(cuts)
+		agg := ws.Agg(2 * nc)
+		corrected := metrics.PrefixDCGInto(e.base, order, cuts, agg[:nc])
+		ideal := metrics.PrefixDCGInto(e.base, e.origOrd, cuts, agg[nc:])
+		for r, qi := range idx {
+			c := pos[r]
+			if ideal[c] == 0 {
+				answers[qi].Err = metrics.ErrZeroIdealDCG
+				continue
+			}
+			answers[qi].Value = corrected[c] / ideal[c]
+		}
+	}
+	if idx, cuts, pos := batchGrid(qs, geom, BatchDisparateImpact); len(idx) > 0 {
+		counts := metrics.PrefixGroupCountsInto(e.d, order, cuts, ws.Cnts(len(cuts)*dims))
+		for r, qi := range idx {
+			c := pos[r]
+			row := counts[c*dims : (c+1)*dims]
+			sel := cuts[c]
+			dst := make([]float64, dims)
+			for j := range dst {
+				dst[j] = metrics.ImpactFromCounts(row[j], e.groupTot[j], sel-row[j], n-e.groupTot[j])
+			}
+			answers[qi].Vector = dst
+		}
+	}
+	if idx, cuts, pos := batchGrid(qs, geom, BatchFPRDiff); len(idx) > 0 {
+		nc := len(cuts)
+		cnts := ws.Cnts(nc*dims + nc)
+		rows, all := cnts[:nc*dims], cnts[nc*dims:]
+		metrics.PrefixFPCountsInto(e.d, order, cuts, rows, all)
+		for r, qi := range idx {
+			c := pos[r]
+			dst := make([]float64, dims)
+			if e.negAll != 0 {
+				overall := float64(all[c]) / float64(e.negAll)
+				row := rows[c*dims : (c+1)*dims]
+				for j := range dst {
+					if e.negTot[j] != 0 {
+						dst[j] = float64(row[j])/float64(e.negTot[j]) - overall
+					}
+				}
+			}
+			answers[qi].Vector = dst
+		}
+	}
+
+	// Counterfactual queries. A merged pass answers objects through the
+	// per-run rank lookups (the scratch retains the merge offsets); the
+	// full-order paths invert the shared permutation. Both finish through
+	// finishCounterfactual, so the results are bit-identical to
+	// CounterfactualBatch by construction.
+	for i := range qs {
+		if qs[i].Kind != BatchCounterfactual {
+			continue
+		}
+		if merged {
+			cfs, ok := e.counterfactualsMergeWS(ws, order, bonus, geom[i].cnt, qs[i].Objects)
+			if !ok {
+				return nil, fmt.Errorf("core: batch rank lookup failed after a validated merge")
+			}
+			answers[i].Counterfactuals = cfs
+		} else {
+			answers[i].Counterfactuals = e.counterfactualsWS(ws, order, bonus, geom[i].cnt, qs[i].Objects)
+		}
+	}
+
+	// Bundle queries: the compensated-order and base-order quantities come
+	// from the shared pass; the leave-one-out fan below is shared across
+	// every bundle in the batch (they all audit the batch bonus).
+	var bundles []int
+	for i := range qs {
+		if qs[i].Kind == BatchBundle {
+			bundles = append(bundles, i)
+		}
+	}
+	for _, qi := range bundles {
+		cfg := qs[qi].Bundle
+		g := &geom[qi]
+		bcopy := make([]float64, dims)
+		copy(bcopy, cfg.Bonus)
+		st := &BundleStats{
+			K:               cfg.K,
+			Selected:        g.cnt,
+			FairNames:       e.d.FairNames(),
+			Bonus:           bcopy,
+			GroupCounts:     make([]int, dims),
+			BaseGroupCounts: make([]int, dims),
+			LeaveOneOut:     make([]float64, dims),
+			Contribution:    make([]float64, dims),
+		}
+		if err := e.bundleFromShared(ws, order, eff, cfg, st, g.cnt, g.ndcgCut); err != nil {
+			answers[qi].Err = err
+			continue
+		}
+		answers[qi].Bundle = st
+	}
+	if len(bundles) > 0 && bonus != nil {
+		var looJobs []int
+		for j, b := range bonus {
+			if b != 0 {
+				looJobs = append(looJobs, j)
+			}
+		}
+		bcuts := make([]int, 0, len(bundles))
+		for _, qi := range bundles {
+			if answers[qi].Bundle != nil {
+				bcuts = append(bcuts, geom[qi].cnt)
+			}
+		}
+		sort.Ints(bcuts)
+		bcuts = slices.Compact(bcuts)
+		if len(looJobs) > 0 && len(bcuts) > 0 {
+			looBacking := make([]float64, len(looJobs)*dims)
+			looNorms := make([]float64, len(looJobs)*len(bcuts))
+			terrs := make([]error, len(looJobs))
+			perr := e.parallelCtx(ctx, len(looJobs), func(lws *engine.Workspace, r int) {
+				vec := looBacking[r*dims : (r+1)*dims]
+				copy(vec, bonus)
+				vec[looJobs[r]] = 0
+				ord, err := e.rankedPrefixWS(ctx, lws, vec, bcuts[len(bcuts)-1])
+				if err != nil {
+					terrs[r] = err
+					return
+				}
+				cent := metrics.PrefixCentroidInto(e.d, ord, bcuts, lws.Pop(), lws.Agg(len(bcuts)*dims))
+				for c := range bcuts {
+					looNorms[r*len(bcuts)+c] = normAgainst(cent[c*dims:(c+1)*dims], e.centroid)
+				}
+			})
+			if err := firstErr(perr, terrs); err != nil {
+				return nil, err
+			}
+			for _, qi := range bundles {
+				st := answers[qi].Bundle
+				if st == nil {
+					continue
+				}
+				c, _ := slices.BinarySearch(bcuts, geom[qi].cnt)
+				for r, j := range looJobs {
+					st.LeaveOneOut[j] = looNorms[r*len(bcuts)+c]
+				}
+			}
+		}
+	}
+	for _, qi := range bundles {
+		st := answers[qi].Bundle
+		if st == nil {
+			continue
+		}
+		st.Reduction = st.NormBefore - st.NormAfter
+		for j := 0; j < dims; j++ {
+			if bonus == nil || bonus[j] == 0 {
+				st.LeaveOneOut[j] = st.NormAfter
+			}
+			st.Contribution[j] = st.LeaveOneOut[j] - st.NormAfter
+		}
+	}
+	return answers, nil
+}
+
+// batchGrid collects the queries of one kind and deduplicates their cuts
+// into an ascending grid, exactly as groupPoints does for a sweep group:
+// idx lists the query indices, cuts the grid, and pos[r] locates idx[r]'s
+// cut within it. The geometry cut doubles as the fold cut for every
+// metric kind (for BatchNDCG it is the PrefixCount cut; for the selection
+// metrics the SelectCount).
+func batchGrid(qs []BatchQuery, geom []batchGeom, kind BatchKind) (idx, cuts, pos []int) {
+	for i := range qs {
+		if qs[i].Kind == kind {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == 0 {
+		return nil, nil, nil
+	}
+	gridOf := func(qi int) int {
+		if kind == BatchNDCG {
+			return geom[qi].cut
+		}
+		return geom[qi].cnt
+	}
+	cuts = make([]int, len(idx))
+	for r, qi := range idx {
+		cuts[r] = gridOf(qi)
+	}
+	sort.Ints(cuts)
+	cuts = slices.Compact(cuts)
+	pos = make([]int, len(idx))
+	for r, qi := range idx {
+		p, _ := slices.BinarySearch(cuts, gridOf(qi))
+		pos[r] = p
+	}
+	return idx, cuts, pos
+}
+
+// bundleFromShared fills one bundle's shared-order quantities from the
+// batch pass, mirroring bundleFullPass field-for-field (plus the
+// base-order side that BundleStatsCtx computes as its second parallel
+// task): cutoff, group counts, disparity norms, nDCG, FPR differences,
+// beneficiary sets, and the counterfactual margin window. order must
+// cover the bundle's own prefix (cnt + margins, clamped) and the nDCG
+// cut; eff must be the effective scores the order was ranked by. Only
+// the zero-ideal-DCG failure is possible, and it is the query's own.
+func (e *Evaluator) bundleFromShared(ws *engine.Workspace, order []int, eff []float64, cfg *BundleStatsConfig, st *BundleStats, cnt, ndcgCut int) error {
+	n := e.d.N()
+	dims := e.d.NumFair()
+	p := cnt + cfg.Margins
+	if p > n {
+		p = n
+	}
+	st.Cutoff = eff[order[cnt-1]]
+
+	cuts := []int{cnt}
+	copy(st.GroupCounts, metrics.PrefixGroupCountsInto(e.d, order, cuts, ws.Cnts(dims)))
+
+	cent := metrics.PrefixCentroidInto(e.d, order, cuts, ws.Pop(), ws.Agg(dims))
+	st.NormAfter = normAgainst(cent, e.centroid)
+
+	// The centroid row has been consumed, so the aggregate scratch can be
+	// re-carved — same sequencing as bundleFullPass.
+	ndcgCuts := []int{ndcgCut}
+	agg := ws.Agg(2)
+	corrected := metrics.PrefixDCGInto(e.base, order, ndcgCuts, agg[:1])
+	ideal := metrics.PrefixDCGInto(e.base, e.origOrd, ndcgCuts, agg[1:])
+	if ideal[0] == 0 {
+		return metrics.ErrZeroIdealDCG
+	}
+	st.NDCG = corrected[0] / ideal[0]
+
+	if cfg.IncludeFPR {
+		cnts := ws.Cnts(dims + 1)
+		rows, all := cnts[:dims], cnts[dims:]
+		metrics.PrefixFPCountsInto(e.d, order, cuts, rows, all)
+		st.FPRDiff = make([]float64, dims)
+		if e.negAll != 0 {
+			overall := float64(all[0]) / float64(e.negAll)
+			for j := range st.FPRDiff {
+				if e.negTot[j] == 0 {
+					continue
+				}
+				st.FPRDiff[j] = float64(rows[j])/float64(e.negTot[j]) - overall
+			}
+		}
+	}
+
+	marks := ws.Marks(n)
+	for _, o := range e.origOrd[:cnt] {
+		marks[o] = true
+	}
+	for _, o := range order[:cnt] {
+		if marks[o] {
+			marks[o] = false
+		} else {
+			st.AdmittedByBonus = append(st.AdmittedByBonus, o)
+		}
+	}
+	for _, o := range e.origOrd[:cnt] {
+		if marks[o] {
+			st.DisplacedByBonus = append(st.DisplacedByBonus, o)
+			marks[o] = false
+		}
+	}
+	sort.Ints(st.AdmittedByBonus)
+	sort.Ints(st.DisplacedByBonus)
+
+	if cfg.Margins > 0 {
+		lo := cnt - cfg.Margins
+		if lo < 0 {
+			lo = 0
+		}
+		st.Margins = e.counterfactualsWS(ws, order, cfg.Bonus, cnt, order[lo:p])
+	}
+
+	// Base-order side: free off the cached uncompensated ranking.
+	st.BaseCutoff = e.base[e.origOrd[cnt-1]]
+	copy(st.BaseGroupCounts, metrics.PrefixGroupCountsInto(e.d, e.origOrd, cuts, ws.Cnts(dims)))
+	bcent := metrics.PrefixCentroidInto(e.d, e.origOrd, cuts, ws.Pop(), ws.Agg(dims))
+	st.NormBefore = normAgainst(bcent, e.centroid)
+	return nil
+}

@@ -187,7 +187,26 @@ func (e *Evaluator) counterfactualBatchMerge(ctx context.Context, ws *engine.Wor
 		return nil, false, nil
 	}
 	e.merges.Add(1)
+	out, ok := e.counterfactualsMergeWS(ws, order, bonus, cnt, objs)
+	return out, ok, nil
+}
 
+// counterfactualsMergeWS answers every listed object against a merged
+// prefix order, which must have been produced by MergeTopKIntoCtx on the
+// same workspace and cover at least the boundary competitors (positions
+// cnt-1 and, when cnt < n, cnt). Each object's rank and effective score
+// come from per-run binary searches (ComboRuns.RankOf, O(g·log(n/g)) per
+// object) against the offsets the merge left in the workspace scratch —
+// the exact rank every run contributes is the count of members
+// outranking the object under the same total order the full sort
+// realizes. Both the per-request merge batch and the cross-request
+// shared pass (AnswerBatchCtx) finish through it, so their results are
+// bit-identical by construction. ok is false only for non-finite
+// offsets, unreachable after a merge validated them.
+func (e *Evaluator) counterfactualsMergeWS(ws *engine.Workspace, order []int, bonus []float64, cnt int, objs []int) ([]Counterfactual, bool) {
+	n := e.d.N()
+	ms := ws.Merge()
+	eff := ws.Eff(n)
 	dims := e.d.NumFair()
 	sign := e.pol.Sign()
 	backing := make([]float64, len(objs)*dims)
@@ -195,7 +214,7 @@ func (e *Evaluator) counterfactualBatchMerge(ctx context.Context, ws *engine.Wor
 	for r, obj := range objs {
 		pos, effObj, ok := e.runs.RankOf(obj, bonus, e.pol, ms)
 		if !ok {
-			return nil, false, nil // unreachable: offsets validated by the merge above
+			return nil, false
 		}
 		cf := Counterfactual{
 			Object:       obj,
@@ -218,7 +237,7 @@ func (e *Evaluator) counterfactualBatchMerge(ctx context.Context, ws *engine.Wor
 		e.finishCounterfactual(&cf, sign)
 		out[r] = cf
 	}
-	return out, true, nil
+	return out, true
 }
 
 // CounterfactualWindow computes counterfactuals for the boundary window of

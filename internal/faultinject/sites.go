@@ -25,4 +25,11 @@ const (
 	// non-zero-bonus path; an injected delay simulates a slow ranking
 	// pass under every sweep, bundle, and counterfactual workload.
 	SiteRankPrefix = "rank.prefix"
+	// SiteBatcherFlush fires at the head of a micro-batch flush, before
+	// the shared pass runs: an injected error fails every member with it,
+	// an injected panic exercises the batcher's recovery shield (every
+	// waiter is released with the same 500 the middleware answers), and a
+	// delay holds the whole batch so member deadlines and the
+	// all-members-gone cancellation can race it.
+	SiteBatcherFlush = "batcher.flush"
 )

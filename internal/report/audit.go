@@ -162,15 +162,34 @@ func BuildBundleStats(ev *core.Evaluator, cfg BundleConfig) (*core.BundleStats, 
 // once ctx is done the shared BundleData pass aborts at its next
 // checkpoint and the context's error is returned.
 func BuildBundleStatsCtx(ctx context.Context, ev *core.Evaluator, cfg BundleConfig) (*core.BundleStats, error) {
+	margins, err := ValidateBundleConfig(ev, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return ev.BundleStatsCtx(ctx, core.BundleStatsConfig{
+		Bonus:      cfg.Bonus,
+		K:          cfg.K,
+		Margins:    margins,
+		IncludeFPR: cfg.IncludeFPR,
+	})
+}
+
+// ValidateBundleConfig checks an audit request against the evaluator's
+// dataset and returns the normalized margin window (zero maps to
+// DefaultMargins). BuildBundleStatsCtx runs it before computing; callers
+// that route the computation elsewhere — the service micro-batcher hands
+// the pass to core.AnswerBatchCtx — run it themselves first, so every
+// rejection is byte-identical to the direct path's.
+func ValidateBundleConfig(ev *core.Evaluator, cfg BundleConfig) (int, error) {
 	d := ev.Dataset()
 	if d.N() == 0 {
-		return nil, fmt.Errorf("report: cannot audit an empty dataset")
+		return 0, fmt.Errorf("report: cannot audit an empty dataset")
 	}
 	if len(cfg.Bonus) == 0 {
-		return nil, fmt.Errorf("report: missing bonus policy (nothing to audit)")
+		return 0, fmt.Errorf("report: missing bonus policy (nothing to audit)")
 	}
 	if len(cfg.Bonus) != d.NumFair() {
-		return nil, fmt.Errorf("report: bonus has %d dimensions, dataset has %d", len(cfg.Bonus), d.NumFair())
+		return 0, fmt.Errorf("report: bonus has %d dimensions, dataset has %d", len(cfg.Bonus), d.NumFair())
 	}
 	zero := true
 	for _, b := range cfg.Bonus {
@@ -180,27 +199,22 @@ func BuildBundleStatsCtx(ctx context.Context, ev *core.Evaluator, cfg BundleConf
 		}
 	}
 	if zero {
-		return nil, fmt.Errorf("report: bonus policy is all zero (nothing to audit)")
+		return 0, fmt.Errorf("report: bonus policy is all zero (nothing to audit)")
 	}
 	if err := rank.CheckFraction(cfg.K); err != nil {
-		return nil, err
+		return 0, err
 	}
 	if cfg.Margins < 0 {
-		return nil, fmt.Errorf("report: margins must be non-negative, got %d", cfg.Margins)
+		return 0, fmt.Errorf("report: margins must be non-negative, got %d", cfg.Margins)
 	}
 	if cfg.IncludeFPR && !d.HasOutcomes() {
-		return nil, fmt.Errorf("report: FPR differences require outcomes, dataset has none")
+		return 0, fmt.Errorf("report: FPR differences require outcomes, dataset has none")
 	}
 	margins := cfg.Margins
 	if margins == 0 {
 		margins = DefaultMargins
 	}
-	return ev.BundleStatsCtx(ctx, core.BundleStatsConfig{
-		Bonus:      cfg.Bonus,
-		K:          cfg.K,
-		Margins:    margins,
-		IncludeFPR: cfg.IncludeFPR,
-	})
+	return margins, nil
 }
 
 // FromStats shapes one BundleData pass into the versioned audit bundle.

@@ -493,6 +493,11 @@ type RankStatsInfo struct {
 	// ranking passes.
 	MergeCount   int64 `json:"merge_count"`
 	RankingCount int64 `json:"ranking_count"`
+	// BatchFlushes counts this dataset's micro-batch flushes and
+	// BatchedRequests the member requests they served; their ratio is the
+	// coalesce factor. Both stay zero with micro-batching disabled.
+	BatchFlushes    int64 `json:"batch_flushes"`
+	BatchedRequests int64 `json:"batched_requests"`
 }
 
 // HealthResponse is the /healthz body: liveness plus the handful of
@@ -507,7 +512,14 @@ type HealthResponse struct {
 	Goroutines    int    `json:"goroutines"`
 	InFlight      int    `json:"in_flight"`
 	ShedTotal     int64  `json:"shed_total"`
-	Draining      bool   `json:"draining"`
+	// Micro-batching gauges: windows flushed, member requests served
+	// through a batch, the largest batch so far, and the windows open
+	// right now. All zero with batching disabled.
+	BatchFlushes    int64 `json:"batch_flushes"`
+	BatchedRequests int64 `json:"batched_requests"`
+	BatchLargest    int64 `json:"batch_largest"`
+	BatchWindows    int   `json:"batch_windows"`
+	Draining        bool  `json:"draining"`
 }
 
 // ReadyResponse is the /readyz body. Ready means registration finished

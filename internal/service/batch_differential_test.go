@@ -1,0 +1,483 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fairrank/internal/rank"
+	"fairrank/internal/synth"
+)
+
+// newDiffServer builds the standard two-cohort registry under an
+// arbitrary config — the batching-equivalence suites run the same
+// request sets against a batched and a plain server built here.
+func newDiffServer(t testing.TB, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	school, err := synth.GenerateSchool(schoolConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	compasCfg := synth.DefaultCompasConfig()
+	compasCfg.N = testCohortN
+	compasCfg.Seed = 7
+	compas, err := synth.GenerateCompas(compasCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(cfg)
+	if err := s.Register("school", school, rank.WeightedSum{Weights: synth.SchoolScoreWeights()}, rank.Beneficial); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register("compas", compas, rank.WeightedSum{Weights: synth.CompasScoreWeights()}, rank.Adverse); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// diffReq is one storm request, replayable against any server: a POST
+// with a pre-marshaled JSON body, or a GET when body is nil.
+type diffReq struct {
+	path string
+	body []byte
+}
+
+type diffResult struct {
+	code int
+	body string
+	err  error
+}
+
+// do replays the request against base; goroutine-safe (no testing.T).
+func (r diffReq) do(base string) diffResult {
+	var resp *http.Response
+	var err error
+	if r.body != nil {
+		resp, err = http.Post(base+r.path, "application/json", bytes.NewReader(r.body))
+	} else {
+		resp, err = http.Get(base + r.path)
+	}
+	if err != nil {
+		return diffResult{err: err}
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return diffResult{err: err}
+	}
+	return diffResult{code: resp.StatusCode, body: string(raw)}
+}
+
+// runStorm fires every request concurrently behind a start barrier and
+// returns the results in request order.
+func runStorm(reqs []diffReq, base string) []diffResult {
+	results := make([]diffResult, len(reqs))
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			results[i] = reqs[i].do(base)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	return results
+}
+
+// passCount is the dataset's total ranked passes (full or merged).
+func passCount(t testing.TB, s *Server, name string) int64 {
+	t.Helper()
+	e, ok := s.reg.Get(name)
+	if !ok {
+		t.Fatalf("dataset %q not registered", name)
+	}
+	return e.eval.RankingCount() + e.eval.MergeCount()
+}
+
+func mustMarshal(t testing.TB, v any) []byte {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// diffGroup is one (dataset, bonus) sharing unit of the storm.
+type diffGroup struct {
+	dataset string
+	bonus   []float64
+	fpr     bool // the dataset carries outcomes, so fpr sweeps are legal
+}
+
+var diffGroups = []diffGroup{
+	{"school", []float64{1, 2, 3, 4}, false},
+	{"school", []float64{2, 10.5, 9, 12}, false},
+	{"school", []float64{0.5, 0.25, 7, 1}, false},
+	{"compas", []float64{1, 1, 1, 1, 1, 1}, true},
+	{"compas", []float64{3, 0, 1.5, 2, 0, 4}, true},
+}
+
+// diffStormSize is requests per group; the batched server's BatchSize is
+// set to exactly this so every full group flushes on its size trigger.
+const diffStormSize = 8
+
+// buildDiffStorm builds the evaluate/counterfactual storm: per group,
+// six sweep requests cycling through the metrics (two points each, so
+// members carry heterogeneous query counts) plus two counterfactual
+// requests with distinct object lists. Every request has a unique
+// (metric, bonus, k) — nothing is answerable from a cache on either
+// server, so the cached_points/cached_objects fields are deterministic.
+func buildDiffStorm(t testing.TB) []diffReq {
+	t.Helper()
+	var reqs []diffReq
+	for gi, g := range diffGroups {
+		metrics := []string{"disparity", "ndcg", "di"}
+		if g.fpr {
+			metrics = append(metrics, "fpr")
+		}
+		for i := 0; i < 6; i++ {
+			k := 0.01 + 0.01*float64(gi*20+i*2)
+			reqs = append(reqs, diffReq{
+				path: "/v1/evaluate",
+				body: mustMarshal(t, EvaluateRequest{
+					Dataset: g.dataset,
+					Metric:  metrics[i%len(metrics)],
+					Points: []SweepPointRequest{
+						{Bonus: g.bonus, K: k},
+						{Bonus: g.bonus, K: k + 0.007},
+					},
+				}),
+			})
+		}
+		for i := 6; i < diffStormSize; i++ {
+			reqs = append(reqs, diffReq{
+				path: "/v1/counterfactual",
+				body: mustMarshal(t, CounterfactualRequest{
+					Dataset: g.dataset,
+					Bonus:   g.bonus,
+					K:       0.03 + 0.01*float64(gi*diffStormSize+i),
+					Objects: []int{3 * i, 41 + i, 97 + gi},
+				}),
+			})
+		}
+	}
+	return reqs
+}
+
+// TestBatchDifferentialStorm is the tentpole's equivalence harness: a
+// storm of concurrent evaluate and counterfactual requests with mixed
+// k-grids, object lists, and metrics over a handful of bonus vectors,
+// against a batched server. Every response must be byte-identical to a
+// sequential replay on a batching-disabled server, and the batched
+// server must spend at most one ranked pass per distinct (dataset,
+// bonus) group — not one per request.
+func TestBatchDifferentialStorm(t *testing.T) {
+	batched, bts := newDiffServer(t, Config{BatchSize: diffStormSize, BatchMaxWait: 5 * time.Second})
+	_, pts := newDiffServer(t, Config{})
+	reqs := buildDiffStorm(t)
+
+	groupsPer := map[string]int64{}
+	for _, g := range diffGroups {
+		groupsPer[g.dataset]++
+	}
+	before := map[string]int64{}
+	for name := range groupsPer {
+		before[name] = passCount(t, batched, name)
+	}
+
+	results := runStorm(reqs, bts.URL)
+	for i, res := range results {
+		if res.err != nil {
+			t.Fatalf("request %d: %v", i, res.err)
+		}
+		if res.code != http.StatusOK {
+			t.Fatalf("request %d answered %d: %s", i, res.code, res.body)
+		}
+	}
+
+	// The coalescing guarantee: one shared pass per distinct bonus group.
+	// (≤ rather than ==: a wildly delayed joiner may open a second window;
+	// the 5s fallback makes that effectively impossible, but the promised
+	// invariant is the bound.)
+	for name, groups := range groupsPer {
+		if delta := passCount(t, batched, name) - before[name]; delta > groups {
+			t.Errorf("%s: storm spent %d ranked passes across %d bonus groups", name, delta, groups)
+		} else if delta < 1 {
+			t.Errorf("%s: storm spent no ranked passes at all", name)
+		}
+	}
+
+	// Byte-identity: a sequential replay on the plain server answers every
+	// request with the exact same bytes.
+	for i, req := range reqs {
+		plain := req.do(pts.URL)
+		if plain.err != nil {
+			t.Fatalf("plain replay %d: %v", i, plain.err)
+		}
+		if plain.code != http.StatusOK {
+			t.Fatalf("plain replay %d answered %d: %s", i, plain.code, plain.body)
+		}
+		if results[i].body != plain.body {
+			t.Fatalf("request %d diverged from the unbatched answer\nbatched: %s\nplain:   %s",
+				i, results[i].body, plain.body)
+		}
+	}
+
+	// Observability: the storm is visible in /healthz and the per-dataset
+	// rank_stats. Every request joined exactly one window, so the batched
+	// counters are exact even if a group split across windows.
+	var h HealthResponse
+	if code, body := getJSON(t, bts.URL+"/healthz", &h); code != 200 {
+		t.Fatalf("healthz: %d %s", code, body)
+	}
+	if h.BatchedRequests != int64(len(reqs)) {
+		t.Errorf("healthz batched_requests = %d, want %d", h.BatchedRequests, len(reqs))
+	}
+	if h.BatchFlushes < int64(len(diffGroups)) {
+		t.Errorf("healthz batch_flushes = %d, want >= %d", h.BatchFlushes, len(diffGroups))
+	}
+	if h.BatchLargest < 1 || h.BatchLargest > diffStormSize {
+		t.Errorf("healthz batch_largest = %d, want in [1,%d]", h.BatchLargest, diffStormSize)
+	}
+	if h.BatchWindows != 0 {
+		t.Errorf("healthz batch_windows = %d after the storm, want 0", h.BatchWindows)
+	}
+	var ds []DatasetInfo
+	if code, body := getJSON(t, bts.URL+"/v1/datasets", &ds); code != 200 {
+		t.Fatalf("datasets: %d %s", code, body)
+	}
+	for _, d := range ds {
+		rs := d.RankStats
+		if rs == nil {
+			t.Fatalf("%s: rank_stats missing", d.Name)
+		}
+		if want := groupsPer[d.Name] * diffStormSize; rs.BatchedRequests != want {
+			t.Errorf("%s batched_requests = %d, want %d", d.Name, rs.BatchedRequests, want)
+		}
+		if rs.BatchFlushes < groupsPer[d.Name] {
+			t.Errorf("%s batch_flushes = %d, want >= %d", d.Name, rs.BatchFlushes, groupsPer[d.Name])
+		}
+	}
+}
+
+// TestBatchReportDifferentialStorm extends the equivalence harness to
+// /v1/report: concurrent bundle builds sharing a bonus vector ride one
+// batch window, each rendered response (JSON, CSV, Markdown) is
+// byte-identical to the unbatched build, and each group's ranking budget
+// is one shared pass plus the shared leave-one-out fan — not one full
+// bundle build per request.
+func TestBatchReportDifferentialStorm(t *testing.T) {
+	batched, bts := newDiffServer(t, Config{BatchSize: 3, BatchMaxWait: 5 * time.Second})
+	_, pts := newDiffServer(t, Config{})
+
+	groups := []struct {
+		dataset string
+		bonus   string
+		nonzero int64
+	}{
+		{"school", "1,2,3,4", 4},
+		{"school", "2,10.5,9,12", 4},
+		{"compas", "3,0,1.5,2,0,4", 4},
+	}
+	formats := []string{"json", "csv", "markdown"}
+	var reqs []diffReq
+	budget := map[string]int64{}
+	for gi, g := range groups {
+		budget[g.dataset] += 1 + g.nonzero
+		for i, format := range formats {
+			reqs = append(reqs, diffReq{path: fmt.Sprintf(
+				"/v1/report?dataset=%s&bonus=%s&k=%g&format=%s",
+				g.dataset, g.bonus, 0.05+0.03*float64(i)+0.001*float64(gi), format)})
+		}
+	}
+
+	before := map[string]int64{}
+	for name := range budget {
+		before[name] = passCount(t, batched, name)
+	}
+	results := runStorm(reqs, bts.URL)
+	for i, res := range results {
+		if res.err != nil {
+			t.Fatalf("report %d: %v", i, res.err)
+		}
+		if res.code != http.StatusOK {
+			t.Fatalf("report %d answered %d: %s", i, res.code, res.body)
+		}
+	}
+	for name, want := range budget {
+		if delta := passCount(t, batched, name) - before[name]; delta > want {
+			t.Errorf("%s: report storm spent %d ranked passes, budget is %d", name, delta, want)
+		}
+	}
+	for i, req := range reqs {
+		plain := req.do(pts.URL)
+		if plain.err != nil {
+			t.Fatalf("plain report replay %d: %v", i, plain.err)
+		}
+		if plain.code != http.StatusOK {
+			t.Fatalf("plain report replay %d answered %d: %s", i, plain.code, plain.body)
+		}
+		if results[i].body != plain.body {
+			t.Fatalf("report %d (%s) diverged from the unbatched answer\nbatched: %s\nplain:   %s",
+				i, req.path, results[i].body, plain.body)
+		}
+	}
+}
+
+// TestBatchRejectionsSkipTheWindow pins the validation seam: a malformed
+// request against a batched server is rejected with the same status and
+// body as on a plain server, immediately — it never joins a window, so
+// the rejection does not wait out BatchMaxWait.
+func TestBatchRejectionsSkipTheWindow(t *testing.T) {
+	_, bts := newDiffServer(t, Config{BatchSize: 64, BatchMaxWait: 5 * time.Second})
+	_, pts := newDiffServer(t, Config{})
+	reqs := []diffReq{
+		// Zero bonus policy: the report layer rejects before the window.
+		{path: "/v1/report?dataset=school&bonus=0,0,0,0&k=0.1"},
+		// Bad fraction.
+		{path: "/v1/report?dataset=school&bonus=1,2,3,4&k=1.5"},
+		// FPR sweep without outcomes.
+		{body: mustMarshal(t, EvaluateRequest{Dataset: "school", Metric: "fpr",
+			Points: []SweepPointRequest{{Bonus: []float64{1, 2, 3, 4}, K: 0.1}}}), path: "/v1/evaluate"},
+		// Counterfactual object out of range.
+		{body: mustMarshal(t, CounterfactualRequest{Dataset: "school", Bonus: []float64{1, 2, 3, 4},
+			K: 0.1, Objects: []int{999999}}), path: "/v1/counterfactual"},
+	}
+	for i, req := range reqs {
+		start := time.Now()
+		got := req.do(bts.URL)
+		elapsed := time.Since(start)
+		want := req.do(pts.URL)
+		if got.err != nil || want.err != nil {
+			t.Fatalf("rejection %d: errs (%v, %v)", i, got.err, want.err)
+		}
+		if got.code != want.code || got.body != want.body {
+			t.Errorf("rejection %d diverged: batched (%d, %s), plain (%d, %s)",
+				i, got.code, got.body, want.code, want.body)
+		}
+		if got.code == http.StatusOK {
+			t.Errorf("rejection %d unexpectedly succeeded", i)
+		}
+		if elapsed > 2*time.Second {
+			t.Errorf("rejection %d took %v; it must not wait out the batch window", i, elapsed)
+		}
+	}
+}
+
+// TestBatchMemberCancelDoesNotPoisonWindow pins the cancellation seam: a
+// caller disconnecting mid-window gets 499 immediately, and the
+// remaining members of the same window still get correct, byte-identical
+// answers — the dead member is skipped at flush, never computed for, and
+// never fails the batch.
+func TestBatchMemberCancelDoesNotPoisonWindow(t *testing.T) {
+	s, _ := newDiffServer(t, Config{BatchSize: 3, BatchMaxWait: 3 * time.Second})
+	_, pts := newDiffServer(t, Config{})
+	h := s.Handler()
+
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+
+	bonus := []float64{1, 11.5, 12, 12}
+	body := func(k float64) []byte {
+		return mustMarshal(t, EvaluateRequest{Dataset: "school", Metric: "disparity",
+			Points: []SweepPointRequest{{Bonus: bonus, K: k}}})
+	}
+
+	// Member A joins the window, then its client disconnects.
+	ctxA, cancelA := context.WithCancel(context.Background())
+	defer cancelA()
+	recA := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		r := httptest.NewRequest("POST", "/v1/evaluate", bytes.NewReader(body(0.30))).WithContext(ctxA)
+		recA <- doRequest(h, r)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, _, _, windows := s.batch.stats(); windows >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("member A never opened a batch window")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancelA()
+	a := <-recA
+	if a.Code != statusClientClosedRequest {
+		t.Fatalf("canceled member answered %d (%s), want 499", a.Code, a.Body)
+	}
+	if !strings.Contains(a.Body.String(), "client closed request") {
+		t.Errorf("499 body = %s", a.Body)
+	}
+
+	// Members B and C fill the window to its size trigger; the flush must
+	// skip dead A and answer both correctly.
+	recBC := make(chan *httptest.ResponseRecorder, 2)
+	for _, k := range []float64{0.31, 0.32} {
+		go func(k float64) {
+			recBC <- doRequest(h, httptest.NewRequest("POST", "/v1/evaluate", bytes.NewReader(body(k))))
+		}(k)
+	}
+	for i := 0; i < 2; i++ {
+		rec := <-recBC
+		if rec.Code != http.StatusOK {
+			t.Fatalf("surviving member answered %d (%s)", rec.Code, rec.Body)
+		}
+	}
+
+	// Byte-identity of the survivors: the k=0.31 and 0.32 rows were
+	// computed through the flush that skipped A; re-reading them must
+	// match a plain server's answer.
+	for _, k := range []float64{0.31, 0.32} {
+		batchedRec := doRequest(h, httptest.NewRequest("POST", "/v1/evaluate", bytes.NewReader(body(k))))
+		plain := (diffReq{path: "/v1/evaluate", body: body(k)}).do(pts.URL)
+		if plain.err != nil || plain.code != http.StatusOK {
+			t.Fatalf("plain reference (k=%g): (%v, %d)", k, plain.err, plain.code)
+		}
+		// The batched server answers from its per-point cache now; the
+		// cached row is the one the flush computed. Normalize the cache
+		// counter before comparing.
+		gotNorm := strings.Replace(batchedRec.Body.String(), `"cached_points":1`, `"cached_points":0`, 1)
+		if gotNorm != plain.body {
+			t.Errorf("survivor row (k=%g) diverged\nbatched: %s\nplain:   %s", k, batchedRec.Body, plain.body)
+		}
+	}
+
+	// A was never computed for: only B and C were batched.
+	flushes, batchedN, _, windows := s.batch.stats()
+	if flushes != 1 || batchedN != 2 || windows != 0 {
+		t.Errorf("batcher stats after cancel = (flushes %d, batched %d, windows %d), want (1, 2, 0)",
+			flushes, batchedN, windows)
+	}
+
+	// Everything (waiters, watchers, timers) settles. The plain-reference
+	// requests above went over real HTTP; drop their kept-alive
+	// connections so only this server's goroutines are measured.
+	settle := time.Now().Add(10 * time.Second)
+	for {
+		http.DefaultClient.CloseIdleConnections()
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline {
+			break
+		}
+		if time.Now().After(settle) {
+			t.Fatalf("goroutines did not settle: baseline %d, now %d", baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,306 @@
+//go:build faultinject
+
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"fairrank/internal/faultinject"
+)
+
+// batchStormBody is one single-point disparity sweep; distinct k values
+// give distinct cache keys while sharing the (dataset, bonus) window.
+func batchStormBody(t testing.TB, bonus []float64, k float64) []byte {
+	t.Helper()
+	return mustMarshal(t, EvaluateRequest{Dataset: "school", Metric: "disparity",
+		Points: []SweepPointRequest{{Bonus: bonus, K: k}}})
+}
+
+// concurrentEvaluates fires the bodies concurrently against the handler
+// and returns the recorders in completion order.
+func concurrentEvaluates(h http.Handler, bodies [][]byte) []*httptest.ResponseRecorder {
+	recs := make(chan *httptest.ResponseRecorder, len(bodies))
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, b := range bodies {
+		wg.Add(1)
+		go func(b []byte) {
+			defer wg.Done()
+			<-start
+			recs <- doRequest(h, httptest.NewRequest("POST", "/v1/evaluate", bytes.NewReader(b)))
+		}(b)
+	}
+	close(start)
+	wg.Wait()
+	close(recs)
+	out := make([]*httptest.ResponseRecorder, 0, len(bodies))
+	for rec := range recs {
+		out = append(out, rec)
+	}
+	return out
+}
+
+// TestFaultBatchFlushPanicReleasesAllWaiters: a panic injected at
+// batcher.flush is converted to the recovery middleware's 500 for EVERY
+// member of the window — no waiter stalls, the panic counter ticks once
+// per batch, nothing reaches the cache, and the batcher keeps serving
+// once the fault is spent.
+func TestFaultBatchFlushPanicReleasesAllWaiters(t *testing.T) {
+	const members = 4
+	s := chaosServer(t, Config{BatchSize: members, BatchMaxWait: 2 * time.Second})
+	h := s.Handler()
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+
+	bonus := []float64{1, 11.5, 12, 12}
+	bodies := make([][]byte, members)
+	for i := range bodies {
+		bodies[i] = batchStormBody(t, bonus, 0.05+0.02*float64(i))
+	}
+	faultinject.Set(faultinject.SiteBatcherFlush, faultinject.Fault{Panic: "batch flush blew up", Count: 1})
+
+	for _, rec := range concurrentEvaluates(h, bodies) {
+		if rec.Code != http.StatusInternalServerError {
+			t.Fatalf("member of a panicked batch answered %d (%s), want 500", rec.Code, rec.Body)
+		}
+		if got := rec.Body.String(); got != "{\"error\":\"internal error\"}\n" {
+			t.Errorf("panicked batch body = %q; must match the recovery middleware's answer", got)
+		}
+	}
+	if got := s.panics.Load(); got != 1 {
+		t.Errorf("panic counter = %d after one panicked batch, want 1", got)
+	}
+	if got := s.cache.len(); got != 0 {
+		t.Fatalf("panicked batch left %d cache entries; every member key must stay cold", got)
+	}
+	if got := faultinject.Fired(faultinject.SiteBatcherFlush); got != 1 {
+		t.Fatalf("fault fired %d times, want 1", got)
+	}
+
+	// The fault is spent: the same requests succeed, through a new window.
+	for _, rec := range concurrentEvaluates(h, bodies) {
+		if rec.Code != http.StatusOK {
+			t.Fatalf("evaluate after the fault spent = %d (%s)", rec.Code, rec.Body)
+		}
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle: baseline %d, now %d", baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestFaultBatchFlushErrorLeavesMemberCachesCold is the unpoisoned-cache
+// regression for batching: a failed batch fails every member with the
+// injected error and leaves ALL member cache keys cold — each member
+// caches its own rows only after its submit returned success.
+func TestFaultBatchFlushErrorLeavesMemberCachesCold(t *testing.T) {
+	const members = 4
+	s := chaosServer(t, Config{BatchSize: members, BatchMaxWait: 2 * time.Second})
+	h := s.Handler()
+
+	bonus := []float64{2, 10.5, 9, 12}
+	bodies := make([][]byte, members)
+	for i := range bodies {
+		bodies[i] = batchStormBody(t, bonus, 0.04+0.03*float64(i))
+	}
+	faultinject.Set(faultinject.SiteBatcherFlush, faultinject.Fault{Err: errors.New("injected batch failure"), Count: 1})
+
+	for _, rec := range concurrentEvaluates(h, bodies) {
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("member of a failed batch answered %d (%s), want 400", rec.Code, rec.Body)
+		}
+		if got := rec.Body.String(); !regexp.MustCompile(`injected batch failure`).MatchString(got) {
+			t.Errorf("failed batch body = %q; must carry the injected error", got)
+		}
+	}
+	if got := s.cache.len(); got != 0 {
+		t.Fatalf("failed batch left %d cache entries; every member key must stay cold", got)
+	}
+
+	// Retried cleanly, every member computes and caches its row.
+	for _, rec := range concurrentEvaluates(h, bodies) {
+		if rec.Code != http.StatusOK {
+			t.Fatalf("evaluate after the fault spent = %d (%s)", rec.Code, rec.Body)
+		}
+	}
+	if got := s.cache.len(); got != members {
+		t.Errorf("clean retry cached %d rows, want %d", got, members)
+	}
+}
+
+// TestChaosStormBatched extends the chaos storm to a batching-enabled
+// server: concurrent same-bonus evaluate storms while delays, errors, and
+// panics flicker at evaluate.start, rank.prefix, and batcher.flush. The
+// invariants are the storm's usual four — bounded wall-clock, declared
+// statuses only, surviving 200s byte-identical to the clean answers
+// (modulo the cache counter), goroutines settle — plus one more: the
+// batcher was actually exercised.
+func TestChaosStormBatched(t *testing.T) {
+	s := chaosServer(t, Config{
+		BatchSize:    8,
+		BatchMaxWait: 2 * time.Millisecond,
+		MaxInFlight:  32,
+		AdmitWait:    5 * time.Millisecond,
+		Timeouts:     Timeouts{Evaluate: 2 * time.Second},
+	})
+	h := s.Handler()
+
+	// 32 distinct request bodies over 4 bonus groups; clean references
+	// computed before any fault is armed.
+	bonuses := [][]float64{
+		{1, 11.5, 12, 12},
+		{1, 2, 3, 4},
+		{0.5, 0.25, 7, 1},
+		{2, 10.5, 9, 12},
+	}
+	var bodies [][]byte
+	for bi, bonus := range bonuses {
+		for i := 0; i < 8; i++ {
+			bodies = append(bodies, batchStormBody(t, bonus, 0.02+0.01*float64(bi*8+i)))
+		}
+	}
+	cachedRe := regexp.MustCompile(`"cached_points":\d+`)
+	norm := func(b []byte) string {
+		return cachedRe.ReplaceAllString(string(b), `"cached_points":0`)
+	}
+	want := make([]string, len(bodies))
+	for i, b := range bodies {
+		rec := doRequest(h, httptest.NewRequest("POST", "/v1/evaluate", bytes.NewReader(b)))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("clean evaluate %d = %d (%s)", i, rec.Code, rec.Body)
+		}
+		want[i] = norm(rec.Body.Bytes())
+	}
+
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+
+	stop := make(chan struct{})
+	var flicker sync.WaitGroup
+	flicker.Add(1)
+	go func() {
+		defer flicker.Done()
+		sites := []struct {
+			site string
+			f    faultinject.Fault
+		}{
+			{faultinject.SiteEvaluateStart, faultinject.Fault{Delay: 3 * time.Millisecond}},
+			{faultinject.SiteBatcherFlush, faultinject.Fault{Panic: "storm batch panic"}},
+			{faultinject.SiteRankPrefix, faultinject.Fault{Err: context.DeadlineExceeded}},
+			{faultinject.SiteBatcherFlush, faultinject.Fault{Err: errTrainersBusy}},
+			{faultinject.SiteBatcherFlush, faultinject.Fault{Delay: 3 * time.Millisecond}},
+		}
+		i := 0
+		for {
+			select {
+			case <-stop:
+				faultinject.Reset()
+				return
+			default:
+			}
+			sc := sites[i%len(sites)]
+			faultinject.Set(sc.site, sc.f)
+			time.Sleep(2 * time.Millisecond)
+			faultinject.Clear(sc.site)
+			i++
+		}
+	}()
+
+	const workers = 16
+	const perWorker = 25
+	statuses := make([]map[int]int, workers)
+	got := make([]string, len(bodies)) // first surviving 200 per body, normalized
+	var gotMu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			statuses[w] = make(map[int]int)
+			for i := 0; i < perWorker; i++ {
+				bi := (w*perWorker + i) % len(bodies)
+				rec := doRequest(h, httptest.NewRequest("POST", "/v1/evaluate", bytes.NewReader(bodies[bi])))
+				statuses[w][rec.Code]++
+				if rec.Code == http.StatusOK {
+					gotMu.Lock()
+					if got[bi] == "" {
+						got[bi] = norm(rec.Body.Bytes())
+					}
+					gotMu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	flicker.Wait()
+	if elapsed := time.Since(start); elapsed > 90*time.Second {
+		t.Fatalf("batched storm took %v; latency is unbounded under faults", elapsed)
+	}
+
+	allowed := map[int]bool{
+		http.StatusOK:                  true,
+		http.StatusBadRequest:          true, // generic injected batch errors carry the request status
+		http.StatusInternalServerError: true, // injected batch panics
+		http.StatusServiceUnavailable:  true, // injected exhaustion, leader-ctx faults
+		http.StatusTooManyRequests:     true, // admission under the storm
+		http.StatusGatewayTimeout:      true, // deadline overruns under injected delays
+	}
+	total, okCount := 0, 0
+	for w := range statuses {
+		for code, n := range statuses[w] {
+			total += n
+			if code == http.StatusOK {
+				okCount += n
+			}
+			if !allowed[code] {
+				t.Errorf("batched storm produced status %d (%d times)", code, n)
+			}
+		}
+	}
+	if total != workers*perWorker {
+		t.Errorf("batched storm answered %d of %d requests", total, workers*perWorker)
+	}
+	if okCount == 0 {
+		t.Error("batched storm produced zero successful responses; faults were supposed to flicker, not saturate")
+	}
+	for bi := range got {
+		if got[bi] != "" && got[bi] != want[bi] {
+			t.Fatalf("surviving batched response %d diverged from the clean answer:\n got %s\nwant %s",
+				bi, got[bi], want[bi])
+		}
+	}
+	if flushes, _, _, _ := s.batch.stats(); flushes == 0 {
+		t.Error("storm never flushed a batch; the batcher was not exercised")
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not settle after the batched storm: baseline %d, now %d", baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"fairrank/internal/rank"
 	"fairrank/internal/synth"
@@ -16,12 +18,16 @@ import (
 // newBenchServer serves the paper-scale synthetic school cohort (80k
 // students) — the load-smoke configuration recorded in BENCH_serve.json.
 func newBenchServer(b *testing.B) *httptest.Server {
+	return newBenchServerCfg(b, Config{})
+}
+
+func newBenchServerCfg(b *testing.B, cfg Config) *httptest.Server {
 	b.Helper()
 	d, err := synth.GenerateSchool(synth.DefaultSchoolConfig())
 	if err != nil {
 		b.Fatal(err)
 	}
-	s := New(Config{})
+	s := New(cfg)
 	if err := s.Register("school", d, rank.WeightedSum{Weights: synth.SchoolScoreWeights()}, rank.Beneficial); err != nil {
 		b.Fatal(err)
 	}
@@ -139,6 +145,66 @@ func BenchmarkServeEvaluateSweepCached(b *testing.B) {
 			benchPost(b, client, ts.URL+"/v1/evaluate", body)
 		}
 	})
+}
+
+// benchConcurrentDistinctK measures one round of 16 concurrent clients
+// asking about the SAME previously unseen bonus vector with 16 DISTINCT
+// cut fractions — the micro-batching target load. Every round uses a
+// fresh bonus so neither the sweep row cache nor the result LRU can
+// answer; the cost is pure ranked-pass work. With batching enabled the
+// round costs one ranked pass; without it, sixteen.
+func benchConcurrentDistinctK(b *testing.B, cfg Config) {
+	ts := newBenchServerCfg(b, cfg)
+	const clients = 16
+	pool := make([]*http.Client, clients)
+	for c := range pool {
+		pool[c] = &http.Client{}
+	}
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		bonus := []float64{1, 11.5, 12, float64(13 + n)}
+		var wg sync.WaitGroup
+		var firstErr atomic.Value
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				body, err := json.Marshal(EvaluateRequest{Dataset: "school", Metric: "disparity",
+					Points: []SweepPointRequest{{Bonus: bonus, K: 0.01 + 0.02*float64(c)}}})
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				resp, err := pool[c].Post(ts.URL+"/v1/evaluate", "application/json", bytes.NewReader(body))
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				var buf bytes.Buffer
+				buf.ReadFrom(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("%d %s", resp.StatusCode, buf.String()))
+				}
+			}(c)
+		}
+		wg.Wait()
+		if err := firstErr.Load(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeEvaluateBatched16 is the CI-guarded batching benchmark:
+// 16 concurrent distinct-k clients per round, collected into one window.
+func BenchmarkServeEvaluateBatched16(b *testing.B) {
+	benchConcurrentDistinctK(b, Config{BatchSize: 16, BatchMaxWait: 5 * time.Millisecond})
+}
+
+// BenchmarkServeEvaluateUnbatched16 is the same load with batching off:
+// the baseline that the batched number is compared against.
+func BenchmarkServeEvaluateUnbatched16(b *testing.B) {
+	benchConcurrentDistinctK(b, Config{})
 }
 
 // BenchmarkServeExplain measures the transparency-report path.

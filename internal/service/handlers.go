@@ -319,20 +319,33 @@ func (s *Server) evaluateSweep(ctx context.Context, e *Entry, req EvaluateReques
 		var vecs [][]float64
 		var vals []float64
 		var err error
-		switch req.Metric {
-		case "disparity":
-			vecs, err = e.eval.DisparitySweepCtx(ctx, pts)
-		case "di":
-			vecs, err = e.eval.DisparateImpactSweepCtx(ctx, pts)
-		case "fpr":
-			vecs, err = e.eval.FPRDiffSweepCtx(ctx, pts)
-		case "ndcg":
-			vals, err = e.eval.NDCGSweepCtx(ctx, pts)
+		if bonus, ok := s.batchableSweep(pts); ok {
+			// Single non-zero bonus: the whole sweep rides the micro-batch
+			// window, sharing one ranked pass with every other concurrent
+			// request on the same (dataset, bonus).
+			vecs, vals, err = s.batchSweep(ctx, e, req.Metric, bonus, pts)
+		} else {
+			switch req.Metric {
+			case "disparity":
+				vecs, err = e.eval.DisparitySweepCtx(ctx, pts)
+			case "di":
+				vecs, err = e.eval.DisparateImpactSweepCtx(ctx, pts)
+			case "fpr":
+				vecs, err = e.eval.FPRDiffSweepCtx(ctx, pts)
+			case "ndcg":
+				vals, err = e.eval.NDCGSweepCtx(ctx, pts)
+			}
 		}
 		if err != nil {
 			// Nothing is cached on failure: rows reach the LRU only below,
-			// after the whole sweep succeeded, so a canceled request cannot
-			// poison the per-point cache with partial results.
+			// after the whole sweep (batched or not) succeeded, so a failed
+			// or canceled request cannot poison the per-point cache with
+			// partial results — and a failed BATCH leaves every member's
+			// keys cold, since each member caches only its own rows here.
+			var he *httpError
+			if errors.As(err, &he) {
+				return EvaluateResponse{}, err // batch shed/panic keeps its own status
+			}
 			return EvaluateResponse{}, pipelineErr(err, http.StatusBadRequest)
 		}
 		for r, i := range missing {
@@ -514,10 +527,29 @@ func (s *Server) runCounterfactual(ctx context.Context, e *Entry, req Counterfac
 		for r, i := range missing {
 			objs[r] = req.Objects[i]
 		}
-		cfs, err := e.eval.CounterfactualBatchCtx(ctx, req.Bonus, req.K, objs)
+		var cfs []core.Counterfactual
+		var err error
+		if s.batch != nil && !isZeroBonus(req.Bonus) {
+			// The request becomes one query of a shared-bonus micro-batch;
+			// a zero bonus skips the window (the cached base order answers
+			// it for free, so there is nothing to share).
+			var answers []core.BatchAnswer
+			answers, err = s.batch.submit(ctx, e, req.Bonus, []core.BatchQuery{
+				{Kind: core.BatchCounterfactual, K: req.K, Objects: objs},
+			})
+			if err == nil {
+				cfs = answers[0].Counterfactuals
+			}
+		} else {
+			cfs, err = e.eval.CounterfactualBatchCtx(ctx, req.Bonus, req.K, objs)
+		}
 		if err != nil {
 			// As with sweeps, per-object rows are cached only after the
 			// whole batch succeeded — cancellation leaves the cache clean.
+			var he *httpError
+			if errors.As(err, &he) {
+				return CounterfactualResponse{}, err
+			}
 			return CounterfactualResponse{}, pipelineErr(err, http.StatusBadRequest)
 		}
 		for r, i := range missing {
@@ -630,19 +662,30 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 			// One rank-once BundleData pass yields both the bundle and the
 			// margin counterfactuals; the latter seed the per-object cache
 			// so /v1/counterfactual shares the work wherever keys coincide.
-			st, err := report.BuildBundleStatsCtx(ctx, e.eval, report.BundleConfig{
+			rcfg := report.BundleConfig{
 				Dataset:    e.name,
 				Bonus:      bonus,
 				K:          k,
 				Margins:    margins,
 				IncludeFPR: includeFPR,
-			})
+			}
+			var st *core.BundleStats
+			var err error
+			if s.batch != nil {
+				st, err = s.batchReport(ctx, e, rcfg)
+			} else {
+				st, err = report.BuildBundleStatsCtx(ctx, e.eval, rcfg)
+			}
 			if err != nil {
 				// Build rejections are request mistakes (bad fraction,
 				// zero policy, FPR without outcomes), not server faults;
 				// cancellation passes through to the context mapping. The
 				// bundle and the margin seeds reach the cache only on
 				// success, so an abandoned build caches nothing.
+				var he *httpError
+				if errors.As(err, &he) {
+					return nil, err
+				}
 				return nil, pipelineErr(err, http.StatusBadRequest)
 			}
 			b := report.FromStats(e.eval, e.name, st)
@@ -698,27 +741,29 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 			FairNames:   e.d.FairNames(),
 			Polarity:    e.pol.String(),
 			HasOutcomes: e.d.HasOutcomes(),
-			RankStats:   rankStatsInfo(e.eval),
+			RankStats:   rankStatsInfo(e),
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
-// rankStatsInfo converts an evaluator's combo-run statistics to the
-// listing shape; nil when the partition declined.
-func rankStatsInfo(eval *core.Evaluator) *RankStatsInfo {
-	st, ok := eval.RunStats()
+// rankStatsInfo converts an entry's combo-run statistics and batching
+// counters to the listing shape; nil when the partition declined.
+func rankStatsInfo(e *Entry) *RankStatsInfo {
+	st, ok := e.eval.RunStats()
 	if !ok {
 		return nil
 	}
 	return &RankStatsInfo{
-		Runs:         st.Runs,
-		MinRunLen:    st.MinLen,
-		MedianRunLen: st.MedianLen,
-		MaxRunLen:    st.MaxLen,
-		BuildMicros:  st.BuildCost.Microseconds(),
-		MergeCount:   eval.MergeCount(),
-		RankingCount: eval.RankingCount(),
+		Runs:            st.Runs,
+		MinRunLen:       st.MinLen,
+		MedianRunLen:    st.MedianLen,
+		MaxRunLen:       st.MaxLen,
+		BuildMicros:     st.BuildCost.Microseconds(),
+		MergeCount:      e.eval.MergeCount(),
+		RankingCount:    e.eval.RankingCount(),
+		BatchFlushes:    e.batchFlushes.Load(),
+		BatchedRequests: e.batchedRequests.Load(),
 	}
 }
 
@@ -734,6 +779,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if s.admit != nil {
 		resp.InFlight = s.admit.inFlight()
 		resp.ShedTotal = s.admit.shed.Load()
+	}
+	if s.batch != nil {
+		resp.BatchFlushes, resp.BatchedRequests, resp.BatchLargest, resp.BatchWindows = s.batch.stats()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

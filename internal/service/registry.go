@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 
 	"fairrank/internal/core"
 	"fairrank/internal/dataset"
@@ -38,6 +39,15 @@ type Entry struct {
 	// with it the clone fallback's memory — is bounded; beyond the cap,
 	// requests are shed with 503 instead of cloning without limit.
 	live chan struct{}
+
+	// batchFlushes counts the micro-batches flushed for this dataset and
+	// batchedRequests the member requests they served; both stay zero
+	// unless the server enabled micro-batching. Surfaced in the
+	// /v1/datasets rank_stats block next to the ranking counters, so the
+	// coalesce ratio (batchedRequests / batchFlushes) is observable per
+	// dataset.
+	batchFlushes    atomic.Int64
+	batchedRequests atomic.Int64
 }
 
 // minLiveTrainers floors the live-trainer cap. The cap exists to stop a

@@ -44,6 +44,16 @@ type Config struct {
 	// slot before being shed with 429; 0 means DefaultAdmitWait, negative
 	// means shed immediately.
 	AdmitWait time.Duration
+	// BatchSize is the micro-batch size threshold: once this many
+	// concurrent same-(dataset, bonus) requests have joined a window, the
+	// batch flushes immediately. Zero leaves micro-batching disabled
+	// unless BatchMaxWait is set (then DefaultBatchSize applies).
+	BatchSize int
+	// BatchMaxWait is the micro-batch window: the longest a request waits
+	// for companions before its batch flushes regardless of size. Zero
+	// leaves micro-batching disabled unless BatchSize is set (then
+	// DefaultBatchWait applies).
+	BatchMaxWait time.Duration
 	// Timeouts are the per-endpoint deadlines; zero fields mean none.
 	Timeouts Timeouts
 }
@@ -77,6 +87,12 @@ type Server struct {
 	// flights coalesces concurrent identical cold requests (train and
 	// evaluate) into one pipeline execution.
 	flights flightGroup
+
+	// batch coalesces concurrent DISTINCT evaluate/counterfactual/report
+	// requests that share a (dataset, bonus) pair into one core pass; nil
+	// when micro-batching is disabled (neither BatchSize nor BatchMaxWait
+	// set).
+	batch *batcher
 
 	// Execution counters observed by tests: how many times the cold train
 	// pipeline, the cold sweep computation, the cold counterfactual batch,
@@ -114,6 +130,17 @@ func New(cfg Config) *Server {
 			wait = DefaultAdmitWait
 		}
 		s.admit = newAdmission(max, wait)
+	}
+	if cfg.BatchSize > 0 || cfg.BatchMaxWait > 0 {
+		bs := cfg.BatchSize
+		if bs <= 0 {
+			bs = DefaultBatchSize
+		}
+		bw := cfg.BatchMaxWait
+		if bw <= 0 {
+			bw = DefaultBatchWait
+		}
+		s.batch = newBatcher(bs, bw, func() { s.panics.Add(1) })
 	}
 	return s
 }
