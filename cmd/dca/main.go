@@ -16,9 +16,12 @@
 // same prefix-sweep engine the fairrankd service uses (rank once, answer
 // every k from prefix aggregates), and the trade-off curve is printed as
 // CSV instead of the table: one row per k with nDCG, the disparity vector
-// and its norm, the disparate-impact vector, and — when the dataset
-// carries outcomes — the FPR-difference vector. The grid is either a
-// comma-separated list of fractions or lo:hi:step:
+// and its norm, the disparate-impact vector, when the dataset carries
+// outcomes the FPR-difference vector, and when every fairness attribute
+// is binary the per-capita exposure vector (groups plus "rest") with its
+// demographic disparity, the top-k share deltas, and — with outcomes
+// too — the exposure/merit ratios. The grid is either a comma-separated
+// list of fractions or lo:hi:step:
 //
 //	dca -in school.csv -k 0.05 -sweep 0.01:0.30:0.01 > curve.csv
 //	dca -in school.csv -k 0.05 -sweep 0.05,0.1,0.25
@@ -366,7 +369,10 @@ func parseSweepSpec(spec string) ([]float64, error) {
 // writeSweepCSV evaluates the trained vector over the k-grid — one
 // ranking per metric, every k from prefix aggregates — and prints the
 // trade-off curve: k, nDCG, the disparity vector and norm, the
-// disparate-impact vector, and (with outcomes) the FPR-difference vector.
+// disparate-impact vector, (with outcomes) the FPR-difference vector,
+// and (with all-binary fairness attributes) the per-capita exposure
+// vector with its DDP, the top-k share deltas, and (when outcomes are
+// also present) the exposure/merit ratios.
 func writeSweepCSV(d *fairrank.Dataset, ev *fairrank.Evaluator, bonus []float64, ks []float64) error {
 	points := make([]fairrank.SweepPoint, len(ks))
 	for i, k := range ks {
@@ -391,7 +397,25 @@ func writeSweepCSV(d *fairrank.Dataset, ev *fairrank.Evaluator, bonus []float64,
 			return err
 		}
 	}
+	var expo, topk, ratio [][]float64
+	binaryFair, _ := d.BinaryFairColumns()
+	if binaryFair && d.NumFair() > 0 {
+		if expo, err = ev.ExposureSweep(points); err != nil {
+			return err
+		}
+		if topk, err = ev.TopKSweep(points); err != nil {
+			return err
+		}
+		if d.HasOutcomes() {
+			if ratio, err = ev.ExpRatioSweep(points); err != nil {
+				return err
+			}
+		}
+	}
 
+	// Exposure groups are the binary attributes plus the trailing "rest"
+	// group (objects belonging to none).
+	expoNames := append(append([]string(nil), d.FairNames()...), "rest")
 	cols := []string{"k", "ndcg"}
 	for _, n := range d.FairNames() {
 		cols = append(cols, "disparity:"+n)
@@ -403,6 +427,20 @@ func writeSweepCSV(d *fairrank.Dataset, ev *fairrank.Evaluator, bonus []float64,
 	if fpr != nil {
 		for _, n := range d.FairNames() {
 			cols = append(cols, "fpr:"+n)
+		}
+	}
+	if expo != nil {
+		for _, n := range expoNames {
+			cols = append(cols, "exposure:"+n)
+		}
+		cols = append(cols, "exposure_ddp")
+		for _, n := range d.FairNames() {
+			cols = append(cols, "topk:"+n)
+		}
+	}
+	if ratio != nil {
+		for _, n := range d.FairNames() {
+			cols = append(cols, "expratio:"+n)
 		}
 	}
 	fmt.Println(strings.Join(cols, ","))
@@ -418,6 +456,24 @@ func writeSweepCSV(d *fairrank.Dataset, ev *fairrank.Evaluator, bonus []float64,
 		}
 		if fpr != nil {
 			for _, v := range fpr[i] {
+				row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+			}
+		}
+		if expo != nil {
+			for _, v := range expo[i] {
+				row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+			}
+			ddp, err := metrics.DDPFromPerCapita(expo[i])
+			if err != nil {
+				return err
+			}
+			row = append(row, strconv.FormatFloat(ddp, 'g', -1, 64))
+			for _, v := range topk[i] {
+				row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+			}
+		}
+		if ratio != nil {
+			for _, v := range ratio[i] {
 				row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
 			}
 		}

@@ -51,6 +51,17 @@ const (
 	// BatchBundle asks for a full BundleStats audit pass; Bundle carries
 	// the config, whose bonus must canonically equal the batch's.
 	BatchBundle
+	// BatchExposure asks for the per-capita exposure vector of the top-K
+	// selection (named groups plus the unprotected rest) together with its
+	// DDP scalar; fairness attributes must be binary.
+	BatchExposure
+	// BatchExpRatio asks for the exposure/merit ratio vector of the top-K
+	// selection; fairness attributes must be binary and the dataset must
+	// carry outcomes.
+	BatchExpRatio
+	// BatchTopK asks for the top-K rank-fairness share vector of the top-K
+	// selection; fairness attributes must be binary.
+	BatchTopK
 )
 
 // BatchQuery is one member request of a shared-bonus batch.
@@ -65,14 +76,17 @@ type BatchQuery struct {
 	Bundle *BundleStatsConfig
 }
 
-// BatchAnswer is one query's result. Exactly one payload field is set,
-// matching the query kind — unless Err is set, which carries the
-// data-dependent failures the per-request path reports per point
-// (metrics.ErrZeroIdealDCG): a bad query never poisons its batchmates.
+// BatchAnswer is one query's result. The payload fields matching the query
+// kind are set — exactly one for most kinds; a BatchExposure answer sets
+// both Vector (the per-capita row) and Value (the DDP) — unless Err is
+// set, which carries the data-dependent failures the per-request path
+// reports per point (metrics.ErrZeroIdealDCG,
+// metrics.ErrDegenerateGroups): a bad query never poisons its batchmates.
 type BatchAnswer struct {
-	// Vector holds disparity / disparate-impact / FPR-difference rows.
+	// Vector holds disparity / disparate-impact / FPR-difference /
+	// exposure-family rows.
 	Vector []float64
-	// Value holds the nDCG scalar.
+	// Value holds the nDCG scalar, or a BatchExposure query's DDP.
 	Value float64
 	// Counterfactuals holds a BatchCounterfactual query's results.
 	Counterfactuals []Counterfactual
@@ -141,6 +155,18 @@ func (e *Evaluator) AnswerBatchCtx(ctx context.Context, bonus []float64, qs []Ba
 				return nil, fmt.Errorf("core: batch query %d (k=%g): %w", i, q.K, err)
 			}
 			g.cnt, g.cut = cnt, cnt
+		case BatchExposure, BatchExpRatio, BatchTopK:
+			if err := e.exposureGuard(); err != nil {
+				return nil, err
+			}
+			if q.Kind == BatchExpRatio && !e.d.HasOutcomes() {
+				return nil, fmt.Errorf("core: exposure/merit ratio requires outcomes")
+			}
+			cnt, err := rank.SelectCount(n, q.K)
+			if err != nil {
+				return nil, fmt.Errorf("core: batch query %d (k=%g): %w", i, q.K, err)
+			}
+			g.cnt, g.cut = cnt, cnt
 		case BatchNDCG:
 			cut, err := metrics.PrefixCount(n, q.K)
 			if err != nil {
@@ -175,6 +201,11 @@ func (e *Evaluator) AnswerBatchCtx(ctx context.Context, bonus []float64, qs []Ba
 			}
 			if b.IncludeFPR && !e.d.HasOutcomes() {
 				return nil, fmt.Errorf("core: FPR evaluation requires outcomes")
+			}
+			if b.IncludeExposure {
+				if err := e.exposureGuard(); err != nil {
+					return nil, err
+				}
 			}
 			cnt, err := rank.SelectCount(n, b.K)
 			if err != nil {
@@ -308,6 +339,54 @@ func (e *Evaluator) AnswerBatchCtx(ctx context.Context, bonus []float64, qs []Ba
 						dst[j] = float64(row[j])/float64(e.negTot[j]) - overall
 					}
 				}
+			}
+			answers[qi].Vector = dst
+		}
+	}
+	if idx, cuts, pos := batchGrid(qs, geom, BatchExposure); len(idx) > 0 {
+		gw := dims + 1
+		nc := len(cuts)
+		expo := metrics.PrefixExposureInto(e.d, order, cuts, ws.PopN(gw), ws.Agg(nc*gw))
+		sizes := metrics.PrefixExposureCountsInto(e.d, order, cuts, ws.Cnts(nc*gw))
+		for r, qi := range idx {
+			c := pos[r]
+			row, szs := expo[c*gw:(c+1)*gw], sizes[c*gw:(c+1)*gw]
+			ddp, err := metrics.DDPFromExposure(row, szs)
+			if err != nil {
+				answers[qi].Err = err
+				continue
+			}
+			dst := make([]float64, gw)
+			metrics.ExposurePerCapitaInto(row, szs, dst)
+			answers[qi].Vector = dst
+			answers[qi].Value = ddp
+		}
+	}
+	if idx, cuts, pos := batchGrid(qs, geom, BatchExpRatio); len(idx) > 0 {
+		gw := dims + 1
+		nc := len(cuts)
+		expo := metrics.PrefixExposureInto(e.d, order, cuts, ws.PopN(gw), ws.Agg(nc*gw))
+		counts := metrics.PrefixGroupCountsInto(e.d, order, cuts, ws.Cnts(nc*dims))
+		for r, qi := range idx {
+			c := pos[r]
+			erow := expo[c*gw : c*gw+dims]
+			crow := counts[c*dims : (c+1)*dims]
+			dst := make([]float64, dims)
+			for j := range dst {
+				dst[j] = metrics.ExpRatioFromCounts(erow[j], crow[j], e.groupTot[j]-e.negTot[j], e.groupTot[j])
+			}
+			answers[qi].Vector = dst
+		}
+	}
+	if idx, cuts, pos := batchGrid(qs, geom, BatchTopK); len(idx) > 0 {
+		counts := metrics.PrefixGroupCountsInto(e.d, order, cuts, ws.Cnts(len(cuts)*dims))
+		for r, qi := range idx {
+			c := pos[r]
+			row := counts[c*dims : (c+1)*dims]
+			sel := cuts[c]
+			dst := make([]float64, dims)
+			for j := range dst {
+				dst[j] = metrics.TopKFromCounts(row[j], sel, e.groupTot[j], n)
 			}
 			answers[qi].Vector = dst
 		}
@@ -512,6 +591,13 @@ func (e *Evaluator) bundleFromShared(ws *engine.Workspace, order []int, eff []fl
 		}
 	}
 
+	if cfg.IncludeExposure {
+		var err error
+		if st.Exposure, st.ExposureDDP, err = e.exposureSideWS(ws, order, cuts); err != nil {
+			return err
+		}
+	}
+
 	marks := ws.Marks(n)
 	for _, o := range e.origOrd[:cnt] {
 		marks[o] = true
@@ -545,5 +631,11 @@ func (e *Evaluator) bundleFromShared(ws *engine.Workspace, order []int, eff []fl
 	copy(st.BaseGroupCounts, metrics.PrefixGroupCountsInto(e.d, e.origOrd, cuts, ws.Cnts(dims)))
 	bcent := metrics.PrefixCentroidInto(e.d, e.origOrd, cuts, ws.Pop(), ws.Agg(dims))
 	st.NormBefore = normAgainst(bcent, e.centroid)
+	if cfg.IncludeExposure {
+		var err error
+		if st.BaseExposure, st.BaseExposureDDP, err = e.exposureSideWS(ws, e.origOrd, cuts); err != nil {
+			return err
+		}
+	}
 	return nil
 }

@@ -50,6 +50,10 @@ type BundleStatsConfig struct {
 	// IncludeFPR adds the per-group false-positive-rate differences; the
 	// dataset must carry ground-truth outcomes.
 	IncludeFPR bool
+	// IncludeExposure adds the per-capita exposure rows and DDP scalars for
+	// both the compensated and the uncompensated selection; every fairness
+	// attribute must be binary (see Evaluator.Exposure).
+	IncludeExposure bool
 }
 
 // BundleStats is every fixed-(bonus, k) audit quantity of one bonus
@@ -100,6 +104,17 @@ type BundleStats struct {
 	// the policy when the config asked for them; nil otherwise.
 	FPRDiff []float64
 
+	// Exposure/BaseExposure carry the per-capita exposure rows (NumFair
+	// named groups plus the unprotected rest, so one entry wider than the
+	// other per-dimension slices) of the compensated and uncompensated
+	// selections when the config asked for them; nil otherwise.
+	// ExposureDDP/BaseExposureDDP are the matching maximum pairwise
+	// per-capita gaps.
+	Exposure        []float64
+	ExposureDDP     float64
+	BaseExposure    []float64
+	BaseExposureDDP float64
+
 	// Margins are exact counterfactuals for the boundary window — the
 	// Margins last selected and Margins first excluded objects, in rank
 	// order.
@@ -132,6 +147,11 @@ func (e *Evaluator) BundleStatsCtx(ctx context.Context, cfg BundleStatsConfig) (
 	}
 	if cfg.IncludeFPR && !e.d.HasOutcomes() {
 		return nil, fmt.Errorf("core: FPR evaluation requires outcomes")
+	}
+	if cfg.IncludeExposure {
+		if err := e.exposureGuard(); err != nil {
+			return nil, err
+		}
 	}
 	cnt, err := rank.SelectCount(n, cfg.K)
 	if err != nil {
@@ -200,6 +220,9 @@ func (e *Evaluator) BundleStatsCtx(ctx context.Context, cfg BundleStatsConfig) (
 			copy(st.BaseGroupCounts, metrics.PrefixGroupCountsInto(e.d, e.origOrd, cuts, ws.Cnts(dims)))
 			cent := metrics.PrefixCentroidInto(e.d, e.origOrd, cuts, ws.Pop(), ws.Agg(dims))
 			st.NormBefore = normAgainst(cent, e.centroid)
+			if cfg.IncludeExposure {
+				st.BaseExposure, st.BaseExposureDDP, terrs[1] = e.exposureSideWS(ws, e.origOrd, cuts)
+			}
 		default:
 			r := i - 2
 			order, err := e.rankedPrefixWS(ctx, ws, looVecs[r], cnt)
@@ -275,6 +298,13 @@ func (e *Evaluator) bundleFullPass(ctx context.Context, ws *engine.Workspace, cf
 				}
 				st.FPRDiff[j] = float64(rows[j])/float64(e.negTot[j]) - overall
 			}
+		}
+	}
+
+	if cfg.IncludeExposure {
+		var err error
+		if st.Exposure, st.ExposureDDP, err = e.exposureSideWS(ws, order, cuts); err != nil {
+			return err
 		}
 	}
 

@@ -145,11 +145,17 @@ func (e *Evaluator) groupPoints(points []SweepPoint, count func(n int, frac floa
 // so a sweep performs two result allocations total instead of one per
 // point.
 func (e *Evaluator) vectorRows(n int) [][]float64 {
-	dims := e.d.NumFair()
-	backing := make([]float64, n*dims)
+	return e.vectorRowsW(n, e.d.NumFair())
+}
+
+// vectorRowsW is vectorRows with an explicit row width: the exposure sweep
+// returns NumFair+1 entries per point (the named groups plus the
+// unprotected rest), one wider than the per-dimension default.
+func (e *Evaluator) vectorRowsW(n, w int) [][]float64 {
+	backing := make([]float64, n*w)
 	out := make([][]float64, n)
 	for i := range out {
-		out[i] = backing[i*dims : (i+1)*dims : (i+1)*dims]
+		out[i] = backing[i*w : (i+1)*w : (i+1)*w]
 	}
 	return out
 }

@@ -15,6 +15,7 @@ type Dataset struct {
 	score      [][]float64 // score[j][i]: score attribute j of object i
 	fair       [][]float64 // fair[j][i]: fairness attribute j of object i
 	outcome    []bool      // optional; nil when absent
+	fairBinary []bool      // fairBinary[j]: every value of fair[j] is exactly 0 or 1
 }
 
 // ErrNoOutcomes is returned by Outcome when the dataset was built without
@@ -40,6 +41,7 @@ func New(scoreNames, fairNames []string, score, fair [][]float64, outcome []bool
 			return nil, fmt.Errorf("dataset: score column %q has %d rows, want %d", scoreNames[j], len(col), n)
 		}
 	}
+	fairBinary := make([]bool, len(fair))
 	for j, col := range fair {
 		if n == -1 {
 			n = len(col)
@@ -47,12 +49,16 @@ func New(scoreNames, fairNames []string, score, fair [][]float64, outcome []bool
 		if len(col) != n {
 			return nil, fmt.Errorf("dataset: fairness column %q has %d rows, want %d", fairNames[j], len(col), n)
 		}
+		fairBinary[j] = true
 		for i, v := range col {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
 				return nil, fmt.Errorf("dataset: fairness column %q row %d: non-finite value %v", fairNames[j], i, v)
 			}
 			if v < 0 || v > 1 {
 				return nil, fmt.Errorf("dataset: fairness column %q row %d: value %v outside [0,1]", fairNames[j], i, v)
+			}
+			if v != 0 && v != 1 {
+				fairBinary[j] = false
 			}
 		}
 	}
@@ -76,6 +82,7 @@ func New(scoreNames, fairNames []string, score, fair [][]float64, outcome []bool
 		score:      score,
 		fair:       fair,
 		outcome:    outcome,
+		fairBinary: fairBinary,
 	}, nil
 }
 
@@ -245,6 +252,23 @@ func (d *Dataset) ScoreIndex(name string) int {
 	return -1
 }
 
+// BinaryFairColumns reports whether every fairness attribute column is
+// binary — each value exactly 0 or 1 — the precondition of the group
+// exposure metrics (exposure, exposure/merit ratio, top-K rank fairness).
+// When ok is false, offending names the first non-binary column; callers
+// that want exposure answers over a mixed dataset take a WithFairColumns
+// view restricted to the binary attributes, as the paper's Section
+// VI-C4/C5 experiments do when they drop the continuous ENI attribute.
+// Binarity is detected once at construction, so this is O(NumFair).
+func (d *Dataset) BinaryFairColumns() (ok bool, offending string) {
+	for j, b := range d.fairBinary {
+		if !b {
+			return false, d.fairNames[j]
+		}
+	}
+	return true, ""
+}
+
 // GroupSize reports how many objects have fairness attribute j strictly
 // above 0.5, i.e. the membership count for a binary attribute.
 func (d *Dataset) GroupSize(j int) int {
@@ -266,9 +290,11 @@ func (d *Dataset) GroupSize(j int) int {
 func (d *Dataset) WithFairColumns(cols []int) *Dataset {
 	names := make([]string, len(cols))
 	fair := make([][]float64, len(cols))
+	binary := make([]bool, len(cols))
 	for r, c := range cols {
 		names[r] = d.fairNames[c]
 		fair[r] = d.fair[c]
+		binary[r] = d.fairBinary[c]
 	}
 	return &Dataset{
 		n:          d.n,
@@ -277,6 +303,7 @@ func (d *Dataset) WithFairColumns(cols []int) *Dataset {
 		score:      d.score,
 		fair:       fair,
 		outcome:    d.outcome,
+		fairBinary: binary,
 	}
 }
 

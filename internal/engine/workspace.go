@@ -56,6 +56,14 @@ func (w *Workspace) Metric() []float64 { return w.met }
 // Pop returns the per-dimension centroid scratch.
 func (w *Workspace) Pop() []float64 { return w.pop }
 
+// PopN returns the centroid scratch resized to n. The exposure sweep uses
+// it for running sums over NumFair+1 groups (the named groups plus the
+// unprotected rest), one entry wider than the per-dimension default.
+func (w *Workspace) PopN(n int) []float64 {
+	w.pop = growFloats(w.pop, n)
+	return w.pop
+}
+
 // Sel returns the selection index buffer resized to n.
 func (w *Workspace) Sel(n int) []int {
 	w.sel = growInts(w.sel, n)

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -117,14 +118,11 @@ func TestDDPParityAndDegenerate(t *testing.T) {
 	}
 
 	// Everyone in group A, group B and the rest empty: fewer than two
-	// populated groups means no pairwise gap to measure.
+	// populated groups means no pairwise gap to measure — a sentinel, not
+	// a 0 that would read as genuine parity.
 	uni := exposureDataset(t, [][2]float64{{1, 0}, {1, 0}, {1, 0}})
-	got, err = DDP(uni, []int{2, 0, 1}, []int{0, 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got != 0 {
-		t.Errorf("single-group DDP = %v, want 0", got)
+	if _, err := DDP(uni, []int{2, 0, 1}, []int{0, 1}); !errors.Is(err, ErrDegenerateGroups) {
+		t.Errorf("single-group DDP error = %v, want ErrDegenerateGroups", err)
 	}
 
 	// No fairness columns is a caller error, not a zero.

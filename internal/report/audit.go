@@ -16,7 +16,8 @@ import (
 // BundleVersion identifies the audit-bundle schema. Bump it whenever a
 // field is added, removed, or changes meaning, so downstream consumers of
 // archived bundles can dispatch on the version they were written with.
-const BundleVersion = "1"
+// Version 2 added the optional exposure section.
+const BundleVersion = "2"
 
 // DefaultMargins is the number of boundary objects audited on each side of
 // the cutoff when BundleConfig.Margins is zero.
@@ -49,6 +50,10 @@ type BundleConfig struct {
 	// IncludeFPR adds per-group false-positive-rate differences to the
 	// bundle; the dataset must carry ground-truth outcomes.
 	IncludeFPR bool
+	// IncludeExposure adds per-capita exposure and its demographic
+	// disparity (with and without the policy) to the bundle; every
+	// fairness attribute must be binary.
+	IncludeExposure bool
 }
 
 // PolicyLine is one fairness attribute's row of the published policy: its
@@ -114,6 +119,11 @@ type Bundle struct {
 	// policy when the config asked for them (requires outcomes).
 	FPRDiff []float64 `json:"fpr_diff,omitempty"`
 
+	// Exposure carries the per-capita exposure section when the config
+	// asked for it (requires binary fairness attributes); nil otherwise,
+	// so an unrequested section is omitted from every rendered form.
+	Exposure *ExposureSection `json:"exposure,omitempty"`
+
 	// AdmittedCount and DisplacedCount are the numbers of objects whose
 	// selection status the policy changed; AdmittedByBonus and
 	// DisplacedByBonus list their ids in ascending order, truncated to
@@ -126,6 +136,20 @@ type Bundle struct {
 	// Margins are counterfactual margin lines for the objects closest to
 	// the cutoff on both sides, in rank order.
 	Margins []MarginLine `json:"margins"`
+}
+
+// ExposureSection is the bundle's position-bias view: how much ranking
+// attention (weight 1/log2(rank+1)) each group receives per member inside
+// the selection, with and without the policy. Groups lists the binary
+// fairness attributes plus the trailing "rest" group (objects belonging
+// to none); DDP is the max−min spread of the per-capita entries over
+// populated groups — the quantity the policy is meant to compress.
+type ExposureSection struct {
+	Groups        []string  `json:"groups"`
+	PerCapita     []float64 `json:"per_capita"`
+	DDP           float64   `json:"ddp"`
+	BasePerCapita []float64 `json:"base_per_capita"`
+	BaseDDP       float64   `json:"base_ddp"`
 }
 
 // BuildBundle assembles the audit bundle for a bonus policy at fraction k
@@ -167,10 +191,11 @@ func BuildBundleStatsCtx(ctx context.Context, ev *core.Evaluator, cfg BundleConf
 		return nil, err
 	}
 	return ev.BundleStatsCtx(ctx, core.BundleStatsConfig{
-		Bonus:      cfg.Bonus,
-		K:          cfg.K,
-		Margins:    margins,
-		IncludeFPR: cfg.IncludeFPR,
+		Bonus:           cfg.Bonus,
+		K:               cfg.K,
+		Margins:         margins,
+		IncludeFPR:      cfg.IncludeFPR,
+		IncludeExposure: cfg.IncludeExposure,
 	})
 }
 
@@ -209,6 +234,14 @@ func ValidateBundleConfig(ev *core.Evaluator, cfg BundleConfig) (int, error) {
 	}
 	if cfg.IncludeFPR && !d.HasOutcomes() {
 		return 0, fmt.Errorf("report: FPR differences require outcomes, dataset has none")
+	}
+	if cfg.IncludeExposure {
+		if ok, offending := d.BinaryFairColumns(); !ok {
+			return 0, fmt.Errorf("report: the exposure section requires binary fairness attributes; %q is continuous", offending)
+		}
+		if d.NumFair() == 0 {
+			return 0, fmt.Errorf("report: the exposure section requires fairness attributes, dataset has none")
+		}
 	}
 	margins := cfg.Margins
 	if margins == 0 {
@@ -250,6 +283,18 @@ func FromStats(ev *core.Evaluator, dataset string, st *core.BundleStats) *Bundle
 			SelectedWithout: st.BaseGroupCounts[j],
 			LeaveOneOutNorm: st.LeaveOneOut[j],
 			Contribution:    st.Contribution[j],
+		}
+	}
+	if st.Exposure != nil {
+		groups := make([]string, 0, d.NumFair()+1)
+		groups = append(groups, st.FairNames...)
+		groups = append(groups, "rest")
+		b.Exposure = &ExposureSection{
+			Groups:        groups,
+			PerCapita:     append([]float64(nil), st.Exposure...),
+			DDP:           st.ExposureDDP,
+			BasePerCapita: append([]float64(nil), st.BaseExposure...),
+			BaseDDP:       st.BaseExposureDDP,
 		}
 	}
 	b.Margins = make([]MarginLine, len(st.Margins))
@@ -304,7 +349,8 @@ func (b *Bundle) RenderJSON(w io.Writer) error {
 }
 
 // RenderCSV writes the bundle as sectioned CSV: every row starts with a
-// section tag (meta, policy, fpr, admitted, displaced, margin) so the flat
+// section tag (meta, policy, fpr, exposure, exposure_ddp, admitted,
+// displaced, margin) so the flat
 // file remains self-describing when sections are filtered with standard
 // tools. Every section that applies to the bundle opens with a header row
 // even when it has no data rows (an empty beneficiary list is a finding,
@@ -352,6 +398,23 @@ func (b *Bundle) RenderCSV(w io.Writer) error {
 			if err := cw.Write([]string{"fpr", b.Policy[j].Attribute, fmtG(v)}); err != nil {
 				return err
 			}
+		}
+	}
+	if b.Exposure != nil {
+		if err := cw.Write([]string{"exposure", "group", "per_capita", "base_per_capita"}); err != nil {
+			return err
+		}
+		for j, g := range b.Exposure.Groups {
+			if err := cw.Write([]string{"exposure", g,
+				fmtG(b.Exposure.PerCapita[j]), fmtG(b.Exposure.BasePerCapita[j])}); err != nil {
+				return err
+			}
+		}
+		if err := cw.Write([]string{"exposure_ddp", "with_policy", fmtG(b.Exposure.DDP)}); err != nil {
+			return err
+		}
+		if err := cw.Write([]string{"exposure_ddp", "without_policy", fmtG(b.Exposure.BaseDDP)}); err != nil {
+			return err
 		}
 	}
 	if err := cw.Write([]string{"admitted", "object"}); err != nil {
@@ -420,6 +483,18 @@ func (b *Bundle) RenderMarkdown(w io.Writer) error {
 		p("## False-positive-rate differences\n\n| Attribute | FPR diff |\n| --- | ---: |\n")
 		for j, v := range b.FPRDiff {
 			p("| %s | %s |\n", b.Policy[j].Attribute, fmtG(v))
+		}
+		p("\n")
+	}
+	if b.Exposure != nil {
+		p("## Exposure\n\n")
+		p("Per-capita ranking attention (weight 1/log2(rank+1)) inside the selection; ")
+		p("disparity (max − min over populated groups) %s → %s under the policy.\n\n",
+			fmtG(b.Exposure.BaseDDP), fmtG(b.Exposure.DDP))
+		p("| Group | Per capita (with policy) | Per capita (without) |\n")
+		p("| --- | ---: | ---: |\n")
+		for j, g := range b.Exposure.Groups {
+			p("| %s | %s | %s |\n", g, fmtG(b.Exposure.PerCapita[j]), fmtG(b.Exposure.BasePerCapita[j]))
 		}
 		p("\n")
 	}

@@ -38,10 +38,11 @@ func goldenBundles(t *testing.T) map[string]*Bundle {
 		t.Fatal(err)
 	}
 	bundle, err := BuildBundle(auditEvaluator(t, d), BundleConfig{
-		Dataset:    "no-changes",
-		Bonus:      []float64{0.25, 0.25},
-		K:          0.5,
-		IncludeFPR: true,
+		Dataset:         "no-changes",
+		Bonus:           []float64{0.25, 0.25},
+		K:               0.5,
+		IncludeFPR:      true,
+		IncludeExposure: true,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -175,9 +175,12 @@ type SweepPointRequest struct {
 // bonus vector are ranked once; every k comes from prefix aggregates).
 type EvaluateRequest struct {
 	Dataset string `json:"dataset"`
-	// Metric is "disparity" (vectors + norms), "ndcg" (values), "di"
-	// (vectors + norms), or "fpr" (vectors + norms; the dataset must carry
-	// outcomes).
+	// Metric names a row of the service metric registry (metrics.go):
+	// "disparity", "di" (vectors + L2 norms), "ndcg" (values), "fpr"
+	// (vectors + L2 norms; the dataset must carry outcomes), "exposure"
+	// (per-capita vectors + DDP norms; binary fairness attributes),
+	// "expratio" (vectors; binary attributes AND outcomes), or "topk"
+	// (vectors; binary attributes).
 	Metric string              `json:"metric"`
 	Points []SweepPointRequest `json:"points"`
 }
@@ -185,10 +188,8 @@ type EvaluateRequest struct {
 // validate checks everything that does not need the dataset; dims is the
 // fairness dimensionality of the resolved dataset.
 func (r EvaluateRequest) validate(dims int) error {
-	switch r.Metric {
-	case "disparity", "ndcg", "di", "fpr":
-	default:
-		return fmt.Errorf("unknown metric %q (want disparity, ndcg, di or fpr)", r.Metric)
+	if _, ok := metricByName(r.Metric); !ok {
+		return fmt.Errorf("unknown metric %q (want %s)", r.Metric, metricWantList())
 	}
 	if len(r.Points) == 0 {
 		return fmt.Errorf("no evaluation points")
@@ -217,8 +218,10 @@ func (r EvaluateRequest) validate(dims int) error {
 	return nil
 }
 
-// EvaluateResponse carries the sweep results in point order. Vectors and
-// Norms are set for "disparity", "di" and "fpr"; Values for "ndcg".
+// EvaluateResponse carries the sweep results in point order. Vector
+// metrics set Vectors and Norms ("exposure" norms are the DDP of the
+// per-capita vector; every other vector metric norms with L2); scalar
+// metrics ("ndcg") set Values.
 type EvaluateResponse struct {
 	Dataset   string      `json:"dataset"`
 	Metric    string      `json:"metric"`
@@ -398,7 +401,7 @@ type CounterfactualResponse struct {
 // reportKey identifies a built audit bundle in the result cache. The
 // rendering format is deliberately absent: the cache stores the bundle,
 // and each request renders its own format from it.
-func reportKey(dataset string, bonus []float64, k float64, margins int, fpr bool) string {
+func reportKey(dataset string, bonus []float64, k float64, margins int, fpr, exposure bool) string {
 	b := make([]byte, 0, 64)
 	b = append(b, "report|"...)
 	b = append(b, dataset...)
@@ -413,6 +416,9 @@ func reportKey(dataset string, bonus []float64, k float64, margins int, fpr bool
 		b = append(b, '1')
 	} else {
 		b = append(b, '0')
+	}
+	if exposure {
+		b = append(b, 'e')
 	}
 	return string(b)
 }

@@ -121,7 +121,9 @@ func mustMarshal(t testing.TB, v any) []byte {
 type diffGroup struct {
 	dataset string
 	bonus   []float64
-	fpr     bool // the dataset carries outcomes, so fpr sweeps are legal
+	// full marks a dataset with outcomes AND all-binary fairness
+	// attributes, so fpr and the exposure family are legal sweeps.
+	full bool
 }
 
 var diffGroups = []diffGroup{
@@ -147,8 +149,8 @@ func buildDiffStorm(t testing.TB) []diffReq {
 	var reqs []diffReq
 	for gi, g := range diffGroups {
 		metrics := []string{"disparity", "ndcg", "di"}
-		if g.fpr {
-			metrics = append(metrics, "fpr")
+		if g.full {
+			metrics = append(metrics, "fpr", "exposure", "expratio", "topk")
 		}
 		for i := 0; i < 6; i++ {
 			k := 0.01 + 0.01*float64(gi*20+i*2)

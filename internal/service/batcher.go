@@ -274,33 +274,33 @@ func (s *Server) batchableSweep(pts []core.SweepPoint) ([]float64, bool) {
 // bit-identical to the direct sweep engine — both resume the same prefix
 // folds over the same ranked prefix.
 func (s *Server) batchSweep(ctx context.Context, e *Entry, metric string, bonus []float64, pts []core.SweepPoint) ([][]float64, []float64, error) {
-	var kind core.BatchKind
-	switch metric {
-	case "disparity":
-		kind = core.BatchDisparity
-	case "di":
-		kind = core.BatchDisparateImpact
-	case "fpr":
-		kind = core.BatchFPRDiff
-	case "ndcg":
-		kind = core.BatchNDCG
+	// The kind comes from the metric registry. An unmapped metric used to
+	// fall through a switch with no default, zero-valuing the kind into
+	// BatchDisparity and silently serving disparity rows under the wrong
+	// metric name; now it refuses loudly before any query is built.
+	spec, ok := metricByName(metric)
+	if !ok {
+		return nil, nil, fmt.Errorf("metric %q has no batch kind in the service registry", metric)
 	}
 	qs := make([]core.BatchQuery, len(pts))
 	for i, pt := range pts {
-		qs[i] = core.BatchQuery{Kind: kind, K: pt.K}
+		qs[i] = core.BatchQuery{Kind: spec.kind, K: pt.K}
 	}
 	answers, err := s.batch.submit(ctx, e, bonus, qs)
 	if err != nil {
 		return nil, nil, err
 	}
-	if metric == "ndcg" {
+	// Per-query errors (ndcg's missing outcomes at a cut, exposure's
+	// degenerate prefixes) fail the whole sweep in the exact shape the
+	// direct engine reports: missing-local point index plus fraction.
+	for i, a := range answers {
+		if a.Err != nil {
+			return nil, nil, fmt.Errorf("core: sweep point %d (k=%g): %w", i, pts[i].K, a.Err)
+		}
+	}
+	if spec.scalar {
 		vals := make([]float64, len(pts))
 		for i, a := range answers {
-			if a.Err != nil {
-				// The direct path reports a bad point with its missing-local
-				// index and fraction; reproduce that shape exactly.
-				return nil, nil, fmt.Errorf("core: sweep point %d (k=%g): %w", i, pts[i].K, a.Err)
-			}
 			vals[i] = a.Value
 		}
 		return nil, vals, nil
@@ -323,10 +323,11 @@ func (s *Server) batchReport(ctx context.Context, e *Entry, cfg report.BundleCon
 		return nil, err
 	}
 	bcfg := &core.BundleStatsConfig{
-		Bonus:      cfg.Bonus,
-		K:          cfg.K,
-		Margins:    margins,
-		IncludeFPR: cfg.IncludeFPR,
+		Bonus:           cfg.Bonus,
+		K:               cfg.K,
+		Margins:         margins,
+		IncludeFPR:      cfg.IncludeFPR,
+		IncludeExposure: cfg.IncludeExposure,
 	}
 	answers, err := s.batch.submit(ctx, e, cfg.Bonus, []core.BatchQuery{
 		{Kind: core.BatchBundle, Bundle: bcfg},

@@ -119,6 +119,47 @@ func BenchmarkServeEvaluateSweep(b *testing.B) {
 	})
 }
 
+// BenchmarkServeEvaluateSweepExposure measures a cold 16-point exposure
+// sweep per request on the binary view of the school cohort (the
+// continuous ENI attribute dropped via WithFairColumns, as the paper's
+// exposure experiments do). Like BenchmarkServeEvaluateSweep, every
+// iteration uses a previously unseen bonus vector, so each request pays
+// one full-population ranking plus 16 prefix exposure folds.
+func BenchmarkServeEvaluateSweepExposure(b *testing.B) {
+	d, err := synth.GenerateSchool(synth.DefaultSchoolConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := New(Config{})
+	// Columns 0, 1, 3 are Low-Income, ELL, Special-Ed; column 2 is the
+	// continuous ENI attribute the exposure family rejects.
+	view := d.WithFairColumns([]int{0, 1, 3})
+	if err := s.Register("school-binary", view, rank.WeightedSum{Weights: synth.SchoolScoreWeights()}, rank.Beneficial); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	b.Cleanup(ts.Close)
+	var iter atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		client := &http.Client{}
+		points := make([]SweepPointRequest, 16)
+		for pb.Next() {
+			// A distinct bonus per iteration defeats the sweep row cache.
+			bonus := []float64{2, 10.5, 12}
+			bonus[0] += 0.5 * float64(iter.Add(1))
+			for i := range points {
+				points[i] = SweepPointRequest{Bonus: bonus, K: 0.01 + 0.02*float64(i)}
+			}
+			body, err := json.Marshal(EvaluateRequest{Dataset: "school-binary", Metric: "exposure", Points: points})
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchPost(b, client, ts.URL+"/v1/evaluate", body)
+		}
+	})
+}
+
 // BenchmarkServeEvaluateSweepCached measures the steady-state sweep loop:
 // the same 16-point request repeated, answered row by row from the LRU.
 func BenchmarkServeEvaluateSweepCached(b *testing.B) {

@@ -255,9 +255,13 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if req.Metric == "fpr" && !e.d.HasOutcomes() {
-		writeError(w, http.StatusBadRequest, "dataset %q has no outcomes; fpr sweeps require them", req.Dataset)
-		return
+	// Dataset-capability guard from the metric registry: fpr needs
+	// outcomes, the exposure family needs binary fairness attributes.
+	if spec, ok := metricByName(req.Metric); ok && spec.check != nil {
+		if err := spec.check(e); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
 	}
 	// Coalesce concurrent identical sweeps; the leader probes the
 	// per-point cache and computes only the missing rows.
@@ -283,7 +287,13 @@ func (s *Server) evaluateSweep(ctx context.Context, e *Entry, req EvaluateReques
 	}
 	resp := EvaluateResponse{Dataset: req.Dataset, Metric: req.Metric, FairNames: e.d.FairNames()}
 	n := len(req.Points)
-	vector := req.Metric != "ndcg"
+	spec, ok := metricByName(req.Metric)
+	if !ok {
+		// validate() already rejected unknown names; reaching here means a
+		// caller skipped it. Fail loudly rather than guess a metric.
+		return EvaluateResponse{}, pipelineErr(fmt.Errorf("metric %q missing from the service registry", req.Metric), http.StatusBadRequest)
+	}
+	vector := !spec.scalar
 	if vector {
 		resp.Vectors = make([][]float64, n)
 	} else {
@@ -334,6 +344,16 @@ func (s *Server) evaluateSweep(ctx context.Context, e *Entry, req EvaluateReques
 				vecs, err = e.eval.FPRDiffSweepCtx(ctx, pts)
 			case "ndcg":
 				vals, err = e.eval.NDCGSweepCtx(ctx, pts)
+			case "exposure":
+				vecs, err = e.eval.ExposureSweepCtx(ctx, pts)
+			case "expratio":
+				vecs, err = e.eval.ExpRatioSweepCtx(ctx, pts)
+			case "topk":
+				vecs, err = e.eval.TopKSweepCtx(ctx, pts)
+			default:
+				// Registry row without a sweep arm: a wiring bug, not a
+				// user error. Refuse instead of serving the wrong metric.
+				err = fmt.Errorf("metric %q has no sweep dispatch", req.Metric)
 			}
 		}
 		if err != nil {
@@ -361,7 +381,16 @@ func (s *Server) evaluateSweep(ctx context.Context, e *Entry, req EvaluateReques
 	if vector {
 		resp.Norms = make([]float64, n)
 		for i, v := range resp.Vectors {
-			resp.Norms[i] = metrics.Norm(v)
+			if spec.ddpNorm {
+				// Exposure rows are per-capita vectors; their norm is the
+				// demographic-disparity finisher, recoverable from the row
+				// alone (per-capita > 0 iff populated). Rows only enter the
+				// cache from successful sweeps, which already rejected
+				// degenerate prefixes, so the error arm is unreachable.
+				resp.Norms[i], _ = metrics.DDPFromPerCapita(v)
+			} else {
+				resp.Norms[i] = metrics.Norm(v)
+			}
 		}
 	}
 	return resp, nil
@@ -636,6 +665,23 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// The exposure section defaults to "whenever the dataset's fairness
+	// attributes are all binary"; exposure=1 demands it (a 400 on a
+	// continuous column, raised by the report-layer validation),
+	// exposure=0 omits.
+	binaryOK, _ := e.d.BinaryFairColumns()
+	includeExposure := binaryOK && e.d.NumFair() > 0
+	if raw := q.Get("exposure"); raw != "" {
+		switch raw {
+		case "0":
+			includeExposure = false
+		case "1":
+			includeExposure = true
+		default:
+			writeError(w, http.StatusBadRequest, "bad exposure %q (want 0 or 1)", raw)
+			return
+		}
+	}
 	format := q.Get("format")
 	if format == "" {
 		format = "json"
@@ -647,7 +693,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	key := reportKey(e.name, bonus, k, margins, includeFPR)
+	key := reportKey(e.name, bonus, k, margins, includeFPR, includeExposure)
 	ctx := r.Context()
 	v, ok2 := s.cache.get(key)
 	if !ok2 {
@@ -663,11 +709,12 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 			// margin counterfactuals; the latter seed the per-object cache
 			// so /v1/counterfactual shares the work wherever keys coincide.
 			rcfg := report.BundleConfig{
-				Dataset:    e.name,
-				Bonus:      bonus,
-				K:          k,
-				Margins:    margins,
-				IncludeFPR: includeFPR,
+				Dataset:         e.name,
+				Bonus:           bonus,
+				K:               k,
+				Margins:         margins,
+				IncludeFPR:      includeFPR,
+				IncludeExposure: includeExposure,
 			}
 			var st *core.BundleStats
 			var err error

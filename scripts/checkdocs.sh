@@ -12,7 +12,9 @@
 #   5. an analyzer registered in tools/fairlint's Suite() is missing a
 #      row in the docs/ARCHITECTURE.md "Enforced invariants" table;
 #   6. a fault-injection site in internal/faultinject/sites.go is missing
-#      a row in the docs/ARCHITECTURE.md "Fault injection" hook map.
+#      a row in the docs/ARCHITECTURE.md "Fault injection" hook map;
+#   7. a metric registered in internal/service/metrics.go is missing a
+#      row in the docs/ARCHITECTURE.md "sweep metric registry" table.
 set -u
 cd "$(dirname "$0")/.."
 fail=0
@@ -87,6 +89,15 @@ sites=$(grep -o '= "[a-z]*\.[a-z]*"' internal/faultinject/sites.go | tr -d '="' 
 for site in $sites; do
     grep -q "^| \`$site\` |" docs/ARCHITECTURE.md \
         || err "faultinject site $site has no row in the ARCHITECTURE.md hook map"
+done
+
+# 7. Every metric in the service registry has a row in the
+#    ARCHITECTURE.md sweep metric registry table (| `name` | ...).
+metrics=$(grep -o 'name: "[a-z]*"' internal/service/metrics.go | sed 's/name: "\([a-z]*\)"/\1/' | sort -u)
+[ -n "$metrics" ] || err "found no metric name: fields in internal/service/metrics.go"
+for metric in $metrics; do
+    grep -q "^| \`$metric\` |" docs/ARCHITECTURE.md \
+        || err "metric $metric has no row in the ARCHITECTURE.md sweep metric registry table"
 done
 
 if [ "$fail" -ne 0 ]; then
